@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures report sweep fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every paper figure at full scale (slow; see -scale).
+figures:
+	$(GO) run ./cmd/tintbench -exp all -repeats 3
+
+# Grade every quantified claim of the paper against fresh runs.
+report:
+	$(GO) run ./cmd/tintreport
+
+sweep:
+	$(GO) run ./cmd/tintbench -exp sweep -sweep hop-cycles -scale 0.5 -repeats 1
+
+fuzz:
+	$(GO) test -fuzz=FuzzMmap -fuzztime=30s ./internal/kernel
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
+
+clean:
+	$(GO) clean ./...

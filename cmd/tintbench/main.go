@@ -1,0 +1,267 @@
+// Command tintbench regenerates the TintMalloc paper's evaluation:
+// the local/remote latency primer, the synthetic benchmark sweep
+// (Fig. 10), the benchmark-suite runtime and idle matrices (Figs. 11
+// and 12) and the per-thread breakdowns (Figs. 13 and 14).
+//
+// Usage:
+//
+//	tintbench -exp all                     # everything, paper sizes
+//	tintbench -exp fig11 -scale 0.25 -repeats 3
+//	tintbench -exp fig13 -workload lbm -config 16_threads_4_nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|all")
+		scale      = flag.Float64("scale", 1.0, "working-set scale factor (1.0 = paper-size)")
+		repeats    = flag.Int("repeats", 3, "repetitions per cell (paper used 10)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		memGiB     = flag.Float64("mem", 2, "installed physical memory in GiB")
+		cfgName    = flag.String("config", "16_threads_4_nodes", "configuration for fig10/fig13/fig14")
+		wlName     = flag.String("workload", "lbm", "workload for fig13/fig14")
+		wlFilter   = flag.String("workloads", "", "comma-separated workload filter for fig11/fig12 (default: all six)")
+		cfgFilter  = flag.String("configs", "", "comma-separated config filter for fig11/fig12 (default: all five)")
+		overlapped = flag.Bool("overlapped", false, "use the paper-faithful overlapped Opteron bit mapping")
+		format     = flag.String("format", "table", "output format: table|csv|chart")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent cells for fig11/fig12 (identical results, faster wall clock)")
+		sweepParam = flag.String("sweep", "hop-cycles", "parameter for -exp sweep: hop-cycles|row-penalty|llc-ways")
+		sweepVals  = flag.String("sweep-values", "0,10,25,50,100", "comma-separated values for -exp sweep")
+	)
+	flag.Parse()
+
+	mach, err := bench.NewMachine(bench.MachineOptions{
+		MemBytes:   uint64(*memGiB * (1 << 30)),
+		Overlapped: *overlapped,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	params := workload.Params{Seed: *seed, Scale: *scale}
+
+	run := func(name string, f func() error) {
+		if *exp != name && !(*exp == "all" && name != "detail" && name != "sweep") {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	csvOut := *format == "csv"
+	chartOut := *format == "chart"
+	if *format != "table" && *format != "csv" && *format != "chart" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+
+	run("latency", func() error {
+		r, err := bench.RunLatency(mach, 0, 512)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return r.WriteCSV(os.Stdout)
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("detail", func() error {
+		wl, err := workload.ByName(*wlName)
+		if err != nil {
+			return err
+		}
+		cfg, err := bench.ConfigByName(mach.Topo, *cfgName)
+		if err != nil {
+			return err
+		}
+		r, err := bench.RunDetail(mach, wl, cfg, params, *repeats)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return r.WriteCSV(os.Stdout)
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("sweep", func() error {
+		wl, err := workload.ByName(*wlName)
+		if err != nil {
+			return err
+		}
+		var vals []float64
+		for _, part := range strings.Split(*sweepVals, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("bad sweep value %q: %w", part, err)
+			}
+			vals = append(vals, v)
+		}
+		r, err := bench.RunSweep(bench.SweepParam(*sweepParam), vals, wl, *cfgName,
+			params, *repeats, uint64(*memGiB*(1<<30)))
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return r.WriteCSV(os.Stdout)
+		}
+		if chartOut {
+			r.WriteChart(os.Stdout)
+			return nil
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("fig10", func() error {
+		cfg, err := bench.ConfigByName(mach.Topo, *cfgName)
+		if err != nil {
+			return err
+		}
+		r, err := bench.RunFig10(mach, cfg, params, *repeats)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return r.WriteCSV(os.Stdout)
+		}
+		if chartOut {
+			r.WriteChart(os.Stdout)
+			return nil
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	suite := func(write func(*bench.SuiteResult)) error {
+		loads, err := selectWorkloads(*wlFilter)
+		if err != nil {
+			return err
+		}
+		cfgs, err := selectConfigs(mach, *cfgFilter)
+		if err != nil {
+			return err
+		}
+		r, err := bench.RunSuiteParallel(mach, loads, cfgs, params, *repeats, *parallel)
+		if err != nil {
+			return err
+		}
+		write(r)
+		return nil
+	}
+	// fig11 and fig12 share the same runs; under -exp all compute once.
+	writeSuite := func(r *bench.SuiteResult, runtime, idle bool) {
+		if csvOut {
+			if err := r.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if runtime {
+			if chartOut {
+				r.WriteRuntimeChart(os.Stdout)
+			} else {
+				r.WriteRuntimeTable(os.Stdout)
+			}
+		}
+		if runtime && idle {
+			fmt.Println()
+		}
+		if idle {
+			if chartOut {
+				r.WriteIdleChart(os.Stdout)
+			} else {
+				r.WriteIdleTable(os.Stdout)
+			}
+		}
+	}
+	if *exp == "all" {
+		if err := suite(func(r *bench.SuiteResult) { writeSuite(r, true, true) }); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	} else {
+		run("fig11", func() error {
+			return suite(func(r *bench.SuiteResult) { writeSuite(r, true, false) })
+		})
+		run("fig12", func() error {
+			return suite(func(r *bench.SuiteResult) { writeSuite(r, false, true) })
+		})
+	}
+
+	perThread := func() error {
+		wl, err := workload.ByName(*wlName)
+		if err != nil {
+			return err
+		}
+		cfg, err := bench.ConfigByName(mach.Topo, *cfgName)
+		if err != nil {
+			return err
+		}
+		pols := []policy.Policy{policy.Buddy, policy.BPM, policy.MEMLLC}
+		r, err := bench.RunPerThread(mach, wl, cfg, pols, params)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return r.WriteCSV(os.Stdout)
+		}
+		r.WriteTables(os.Stdout)
+		return nil
+	}
+	if *exp == "fig13" || *exp == "fig14" || *exp == "all" {
+		if err := perThread(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func selectWorkloads(filter string) ([]workload.Workload, error) {
+	if filter == "" {
+		return workload.StandardSuite(), nil
+	}
+	var out []workload.Workload
+	for _, name := range strings.Split(filter, ",") {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func selectConfigs(mach *bench.Machine, filter string) ([]bench.Config, error) {
+	if filter == "" {
+		return bench.Configurations(mach.Topo), nil
+	}
+	var out []bench.Config
+	for _, name := range strings.Split(filter, ",") {
+		c, err := bench.ConfigByName(mach.Topo, strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tintbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command tintinspect dumps the simulated platform: topology, the
+// PCI-programmed address mapping, per-node color inventories, and the
+// DRAM decomposition plus colors of any physical addresses given as
+// arguments — the debugging view a TintMalloc developer would want.
+//
+// Usage:
+//
+//	tintinspect                     # platform summary
+//	tintinspect -overlapped         # paper-faithful overlapped mapping
+//	tintinspect 0x12345678 4096     # decode specific addresses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/tintmalloc/tintmalloc/internal/pci"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+func main() {
+	var (
+		memGiB     = flag.Float64("mem", 2, "installed physical memory in GiB")
+		overlapped = flag.Bool("overlapped", false, "use the overlapped Opteron bit mapping")
+	)
+	flag.Parse()
+
+	topo := topology.Opteron6128()
+	build := phys.DefaultSeparable
+	if *overlapped {
+		build = phys.OpteronOverlapped
+	}
+	m, err := build(uint64(*memGiB*(1<<30)), topo.Nodes())
+	if err != nil {
+		fatal(err)
+	}
+	space, err := pci.Bios(m)
+	if err != nil {
+		fatal(err)
+	}
+	decoded, err := pci.DecodeMapping(space, topo.Nodes())
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== platform ==")
+	fmt.Println(topo)
+	for n := 0; n < topo.Nodes(); n++ {
+		cores := topo.CoresOfNode(topology.NodeID(n))
+		base, limit, _ := space.NodeRange(n)
+		fmt.Printf("node %d: socket %d, cores %v, DRAM [%#x, %#x)\n",
+			n, topo.SocketOfNode(topology.NodeID(n)), cores, base, limit)
+	}
+
+	fmt.Println("\n== address mapping (decoded from PCI config space) ==")
+	fmt.Printf("channel bits: %v\n", decoded.ChannelBits())
+	fmt.Printf("rank bits:    %v\n", decoded.RankBits())
+	fmt.Printf("bank bits:    %v\n", decoded.BankBits())
+	fmt.Printf("LLC bits:     %v\n", decoded.LLCBits())
+	fmt.Printf("row shift:    %d (rows span %d bytes)\n", decoded.RowShift(), 1<<decoded.RowShift())
+	fmt.Printf("bank colors:  %d (%d per node: %d channels x %d ranks x %d banks)\n",
+		decoded.NumBankColors(), decoded.BanksPerNode(),
+		decoded.Channels(), decoded.Ranks(), decoded.Banks())
+	fmt.Printf("LLC colors:   %d\n", decoded.NumLLCColors())
+
+	// Combination density: under the overlapped mapping not every
+	// (bank, LLC) pair exists.
+	pairs := map[[2]int]bool{}
+	for f := phys.Frame(0); uint64(f) < decoded.Frames(); f++ {
+		pairs[[2]int{decoded.FrameBankColor(f), decoded.FrameLLCColor(f)}] = true
+	}
+	fmt.Printf("populated (bank, LLC) combinations: %d of %d\n",
+		len(pairs), decoded.NumBankColors()*decoded.NumLLCColors())
+
+	if flag.NArg() > 0 {
+		fmt.Println("\n== address decode ==")
+		fmt.Printf("%-14s %-5s %-3s %-4s %-4s %-8s %-5s %-10s %-9s\n",
+			"address", "node", "ch", "rank", "bank", "row", "col", "bank color", "LLC color")
+		for _, arg := range flag.Args() {
+			a, err := strconv.ParseUint(arg, 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad address %q: %v", arg, err))
+			}
+			if !decoded.Valid(phys.Addr(a)) {
+				fmt.Printf("%-14s (outside installed memory)\n", arg)
+				continue
+			}
+			l := decoded.Decode(phys.Addr(a))
+			fmt.Printf("%#-14x %-5d %-3d %-4d %-4d %-8d %-5d %-10d %-9d\n",
+				a, l.Node, l.Channel, l.Rank, l.Bank, l.Row, l.Col,
+				decoded.BankColor(phys.Addr(a)), decoded.LLCColor(phys.Addr(a)))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tintinspect:", err)
+	os.Exit(1)
+}

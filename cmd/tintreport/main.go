@@ -1,0 +1,48 @@
+// Command tintreport re-measures every graded claim of the paper's
+// evaluation and emits a markdown paper-vs-measured report — the
+// regenerable core of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tintreport                      # full-scale, ~minutes
+//	tintreport -scale 0.4           # faster, claims still hold
+//	tintreport > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "working-set scale factor")
+		repeats = flag.Int("repeats", 1, "repetitions for the Fig. 10 cells")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		memGiB  = flag.Float64("mem", 2, "installed memory in GiB")
+	)
+	flag.Parse()
+
+	mach, err := bench.NewMachine(bench.MachineOptions{MemBytes: uint64(*memGiB * (1 << 30))})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := bench.RunPaperValidation(mach,
+		workload.Params{Seed: *seed, Scale: *scale}, *repeats, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	rep.WriteMarkdown(os.Stdout)
+	if rep.Passed() != len(rep.Results) {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tintreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Command tinttrace records, summarizes and replays memory-access
+// traces of the simulated workloads — the profile-then-recolor
+// workflow: capture a run under the default allocator, inspect which
+// threads go remote and which level serves their accesses, then
+// replay the identical access stream under a coloring policy.
+//
+// Usage:
+//
+//	tinttrace -workload equake -policy buddy -o run.trace   # record
+//	tinttrace -summary run.trace                            # inspect
+//	tinttrace -replay run.trace -policy MEM+LLC             # recolor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/engine"
+	"github.com/tintmalloc/tintmalloc/internal/heap"
+	"github.com/tintmalloc/tintmalloc/internal/mem"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/trace"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+func newMem(mach *bench.Machine) (*mem.System, error) {
+	return mem.New(mach.Topo, mach.Mapping, mach.MemCfg)
+}
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "equake", "workload to record")
+		polName = flag.String("policy", "buddy", "coloring policy")
+		cfgName = flag.String("config", "8_threads_4_nodes", "thread configuration")
+		scale   = flag.Float64("scale", 0.25, "working-set scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "record: write trace CSV to this file")
+		summary = flag.String("summary", "", "summarize an existing trace file")
+		replay  = flag.String("replay", "", "replay an existing trace file under -policy")
+	)
+	flag.Parse()
+
+	switch {
+	case *summary != "":
+		events := load(*summary)
+		s := trace.Summarize(events)
+		trace.WriteSummary(os.Stdout, s, len(s.Threads))
+		fmt.Println()
+		trace.WritePhaseSummary(os.Stdout, trace.SummarizeByPhase(events))
+	case *replay != "":
+		doReplay(*replay, *polName, *cfgName)
+	default:
+		doRecord(*wlName, *polName, *cfgName, *scale, *seed, *out)
+	}
+}
+
+func load(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return events
+}
+
+// buildRig boots machine state and a colored thread team.
+func buildRig(polName, cfgName string) (*bench.Machine, *engine.Engine, bench.Config) {
+	pol, err := policy.ParsePolicy(polName)
+	if err != nil {
+		fatal(err)
+	}
+	mach, err := bench.NewMachine(bench.MachineOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := bench.ConfigByName(mach.Topo, cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := mach.NewKernel(0)
+	if err != nil {
+		fatal(err)
+	}
+	ms, err := newMem(mach)
+	if err != nil {
+		fatal(err)
+	}
+	asn, err := policy.Plan(pol, mach.Mapping, mach.Topo, cfg.Cores)
+	if err != nil {
+		fatal(err)
+	}
+	proc := k.NewProcess()
+	threads := make([]engine.Thread, len(cfg.Cores))
+	for i, core := range cfg.Cores {
+		task, err := proc.NewTask(core)
+		if err != nil {
+			fatal(err)
+		}
+		if err := policy.Apply(task, asn[i]); err != nil {
+			fatal(err)
+		}
+		threads[i] = engine.Thread{Task: task, Heap: heap.New(task)}
+	}
+	e, err := engine.New(ms, threads)
+	if err != nil {
+		fatal(err)
+	}
+	return mach, e, cfg
+}
+
+func doRecord(wlName, polName, cfgName string, scale float64, seed int64, out string) {
+	wl, err := workload.ByName(wlName)
+	if err != nil {
+		fatal(err)
+	}
+	_, e, cfg := buildRig(polName, cfgName)
+
+	var w *trace.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if w, err = trace.NewWriter(f); err != nil {
+			fatal(err)
+		}
+		e.SetTracer(w.Tracer())
+	}
+	var collected []trace.Event
+	if out == "" {
+		e.SetTracer(func(ev engine.TraceEvent) { collected = append(collected, ev) })
+	}
+
+	phases, err := wl.Build(e.Threads(), workload.Params{Seed: seed, Scale: scale})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := e.Run(phases)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %s under %s (%s): runtime %d cycles, idle %d cycles\n",
+		wlName, polName, cfg.Name, res.Runtime, res.TotalIdle)
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d events -> %s\n", w.Events(), out)
+		return
+	}
+	s := trace.Summarize(collected)
+	trace.WriteSummary(os.Stdout, s, cfg.Threads())
+}
+
+func doReplay(path, polName, cfgName string) {
+	events := load(path)
+	rep, err := trace.NewReplay(events)
+	if err != nil {
+		fatal(err)
+	}
+	_, e, cfg := buildRig(polName, cfgName)
+	phases, err := rep.Build(e.Threads())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := e.Run(phases)
+	if err != nil {
+		fatal(err)
+	}
+	tot := e.Mem().TotalStats()
+	remote := 0.0
+	if tot.DRAMReads > 0 {
+		remote = float64(tot.RemoteDRAM) / float64(tot.DRAMReads) * 100
+	}
+	fmt.Printf("replayed %d events under %s (%s)\n", len(events), polName, cfg.Name)
+	fmt.Printf("runtime %d cycles, idle %d cycles, remote DRAM %.1f%%\n",
+		res.Runtime, res.TotalIdle, remote)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tinttrace:", err)
+	os.Exit(1)
+}

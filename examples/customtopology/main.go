@@ -1,0 +1,95 @@
+// customtopology: TintMalloc's coloring is not tied to the Opteron
+// 6128 — build a single-socket 8-node machine (a many-controller
+// design), plan MEM+LLC colors for one thread per node, and verify
+// that every thread's pages stay on its local controller in disjoint
+// banks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tintmalloc "github.com/tintmalloc/tintmalloc"
+)
+
+func main() {
+	sys, err := tintmalloc.NewSystem(tintmalloc.Config{
+		MemBytes:       1 << 30,
+		Sockets:        1,
+		NodesPerSocket: 8,
+		CoresPerNode:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := sys.Topology()
+	m := sys.Mapping()
+	fmt.Println("machine:", topo)
+	fmt.Printf("bank colors: %d (%d per node), LLC colors: %d\n",
+		m.NumBankColors(), m.BanksPerNode(), m.NumLLCColors())
+
+	// One thread on the first core of each node.
+	var threads []*tintmalloc.Thread
+	for n := 0; n < topo.Nodes(); n++ {
+		core := tintmalloc.CoreID(n * topo.CoresPerNode())
+		th, err := sys.AddThread(core)
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads = append(threads, th)
+	}
+	if err := sys.ApplyPolicy(tintmalloc.PolicyMEMLLC); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each thread allocates and touches a buffer.
+	const buf = 1 << 20
+	vas := make([]uint64, len(threads))
+	bodies := make([]tintmalloc.Work, len(threads))
+	for i, th := range threads {
+		va, err := th.Mmap(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vas[i] = va
+		bodies[i] = func(yield func(tintmalloc.Op) bool) {
+			for off := uint64(0); off < buf; off += 4096 {
+				if !yield(tintmalloc.Op{VA: va + off, Write: true}) {
+					return
+				}
+			}
+		}
+	}
+	if _, err := sys.Run([]tintmalloc.Phase{tintmalloc.Parallel("touch", bodies)}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify locality and disjointness.
+	seenBanks := map[int]int{}
+	for i, th := range threads {
+		nodes := map[int]bool{}
+		for off := uint64(0); off < buf; off += 4096 {
+			f, ok := th.FrameOf(vas[i] + off)
+			if !ok {
+				log.Fatalf("thread %d: page %#x not resident", i, vas[i]+off)
+			}
+			nodes[m.NodeOfFrame(f)] = true
+			bc := m.FrameBankColor(f)
+			if owner, dup := seenBanks[bc]; dup && owner != i {
+				log.Fatalf("bank color %d used by threads %d and %d", bc, owner, i)
+			}
+			seenBanks[bc] = i
+		}
+		fmt.Printf("thread %d (core %2d): pages on nodes %v (local node %d)\n",
+			i, th.Core(), keys(nodes), topo.NodeOfCore(th.Core()))
+	}
+	fmt.Println("all threads node-local with disjoint banks")
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

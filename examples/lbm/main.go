@@ -1,0 +1,62 @@
+// lbm: run the paper's most memory-intensive workload proxy (the
+// SPEC lbm streaming stencil) on 16 threads across 4 memory nodes,
+// once under the default buddy allocator and once under TintMalloc's
+// MEM+LLC coloring, and compare runtime, barrier idle time and
+// per-thread balance — the paper's headline experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tintmalloc "github.com/tintmalloc/tintmalloc"
+)
+
+func runOnce(pol tintmalloc.Policy) (*tintmalloc.Result, error) {
+	// Aged zones reproduce the busy-machine conditions of the
+	// paper's evaluation (fragmented buddy lists, imperfect default
+	// NUMA locality).
+	sys, err := tintmalloc.NewSystem(tintmalloc.Config{AgedZones: true, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < sys.Topology().Cores(); c++ {
+		if _, err := sys.AddThread(tintmalloc.CoreID(c)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.ApplyPolicy(pol); err != nil {
+		return nil, err
+	}
+	phases, err := sys.BuildWorkload("lbm", tintmalloc.WorkloadParams{Seed: 1, Scale: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(phases)
+}
+
+func main() {
+	buddy, err := runOnce(tintmalloc.PolicyBuddy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	colored, err := runOnce(tintmalloc.PolicyMEMLLC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %15s %15s\n", "", "buddy", "MEM+LLC")
+	fmt.Printf("%-22s %15d %15d\n", "runtime (cycles)", buddy.Runtime, colored.Runtime)
+	fmt.Printf("%-22s %15d %15d\n", "total idle (cycles)", buddy.TotalIdle, colored.TotalIdle)
+	fmt.Printf("%-22s %15d %15d\n", "slowest thread", buddy.MaxThreadRuntime(), colored.MaxThreadRuntime())
+	fmt.Printf("%-22s %15d %15d\n", "fastest thread", buddy.MinThreadRuntime(), colored.MinThreadRuntime())
+	spreadB := buddy.MaxThreadRuntime() - buddy.MinThreadRuntime()
+	spreadC := colored.MaxThreadRuntime() - colored.MinThreadRuntime()
+	fmt.Printf("%-22s %15d %15d\n", "max-min spread", spreadB, spreadC)
+	fmt.Printf("\nMEM+LLC runtime reduction: %.1f%%\n",
+		100*(1-float64(colored.Runtime)/float64(buddy.Runtime)))
+	fmt.Printf("MEM+LLC idle reduction:    %.1f%%\n",
+		100*(1-float64(colored.TotalIdle)/float64(buddy.TotalIdle)))
+	fmt.Printf("imbalance ratio buddy/colored: %.2fx\n",
+		float64(spreadB)/float64(spreadC))
+}

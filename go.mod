@@ -1,0 +1,3 @@
+module github.com/tintmalloc/tintmalloc
+
+go 1.23

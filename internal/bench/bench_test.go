@@ -1,0 +1,556 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+// shapeScale runs the suite fast while keeping working sets large
+// enough that the cache/DRAM contention effects the assertions check
+// still operate.
+const shapeScale = 0.4
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	mach, err := NewMachine(MachineOptions{MemBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func cfg16(t *testing.T, m *Machine) Config {
+	t.Helper()
+	c, err := ConfigByName(m.Topo, "16_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigurations(t *testing.T) {
+	topo := topology.Opteron6128()
+	cfgs := Configurations(topo)
+	if len(cfgs) != 5 {
+		t.Fatalf("got %d configurations, want 5", len(cfgs))
+	}
+	wantThreads := map[string]int{
+		"16_threads_4_nodes": 16,
+		"8_threads_4_nodes":  8,
+		"8_threads_2_nodes":  8,
+		"4_threads_4_nodes":  4,
+		"4_threads_1_nodes":  4,
+	}
+	for _, c := range cfgs {
+		if got := c.Threads(); got != wantThreads[c.Name] {
+			t.Errorf("%s has %d threads", c.Name, got)
+		}
+		for _, core := range c.Cores {
+			if !topo.ValidCore(core) {
+				t.Errorf("%s pins invalid core %d", c.Name, core)
+			}
+		}
+	}
+	// Node coverage checks straight from the paper's definitions.
+	nodes := func(c Config) map[topology.NodeID]bool {
+		out := map[topology.NodeID]bool{}
+		for _, core := range c.Cores {
+			out[topo.NodeOfCore(core)] = true
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		name  string
+		nodes int
+	}{
+		{"16_threads_4_nodes", 4},
+		{"8_threads_4_nodes", 4},
+		{"8_threads_2_nodes", 2},
+		{"4_threads_4_nodes", 4},
+		{"4_threads_1_nodes", 1},
+	} {
+		c, err := ConfigByName(topo, tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(nodes(c)); got != tc.nodes {
+			t.Errorf("%s spans %d nodes, want %d", tc.name, got, tc.nodes)
+		}
+	}
+	if _, err := ConfigByName(topo, "bogus"); err == nil {
+		t.Error("ConfigByName accepted junk")
+	}
+}
+
+func TestMachineBootsThroughPCI(t *testing.T) {
+	mach := testMachine(t)
+	if mach.Mapping.NumBankColors() != 128 || mach.Mapping.NumLLCColors() != 32 {
+		t.Errorf("mapping colors = %d/%d", mach.Mapping.NumBankColors(), mach.Mapping.NumLLCColors())
+	}
+	over, err := NewMachine(MachineOptions{MemBytes: 1 << 30, Overlapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Mapping.NumBankColors() != 128 {
+		t.Errorf("overlapped colors = %d", over.Mapping.NumBankColors())
+	}
+}
+
+func TestLatencyIncreasesWithHops(t *testing.T) {
+	mach := testMachine(t)
+	r, err := RunLatency(mach, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("latency rows = %d", len(r.Rows))
+	}
+	// Paper claim (1): local controller latency is much lower than
+	// remote. Latency must be non-decreasing in hop distance.
+	for i := 1; i < len(r.Rows); i++ {
+		a, b := r.Rows[i-1], r.Rows[i]
+		if b.Hops >= a.Hops && b.Cycles < a.Cycles {
+			t.Errorf("node %d (%d hops) faster than node %d (%d hops): %.1f < %.1f",
+				b.Node, b.Hops, a.Node, a.Hops, b.Cycles, a.Cycles)
+		}
+	}
+	if r.Rows[3].Cycles < r.Rows[0].Cycles*1.3 {
+		t.Errorf("3-hop latency %.1f not clearly above local %.1f",
+			r.Rows[3].Cycles, r.Rows[0].Cycles)
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "hops") {
+		t.Error("WriteTable produced no header")
+	}
+}
+
+// TestPaperShapeFig10 asserts the synthetic benchmark ordering of
+// Fig. 10: every coloring beats buddy, and MEM+LLC is fastest.
+func TestPaperShapeFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	mach := testMachine(t)
+	r, err := RunFig10(mach, cfg16(t, mach), workload.Params{Seed: 1, Scale: shapeScale}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p policy.Policy) float64 {
+		for i, q := range r.Policies {
+			if q == p {
+				return r.Cells[i].Runtime.Mean
+			}
+		}
+		t.Fatalf("policy %v missing", p)
+		return 0
+	}
+	buddy := get(policy.Buddy)
+	memllc := get(policy.MEMLLC)
+	if !(memllc < buddy) {
+		t.Errorf("MEM+LLC (%.0f) not faster than buddy (%.0f)", memllc, buddy)
+	}
+	if !(get(policy.LLCOnly) < buddy) {
+		t.Errorf("LLC coloring did not beat buddy")
+	}
+	if !(get(policy.MEMOnly) < buddy) {
+		t.Errorf("MEM coloring did not beat buddy")
+	}
+	if !(memllc <= get(policy.LLCOnly) && memllc <= get(policy.MEMOnly)) {
+		t.Errorf("MEM+LLC not the fastest policy")
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "MEM+LLC") {
+		t.Error("WriteTable missing MEM+LLC row")
+	}
+}
+
+// TestPaperShapeLBM asserts the paper's headline cell (lbm at
+// 16 threads / 4 nodes): MEM+LLC < buddy < BPM for runtime, idle
+// reduced, per-thread balance improved.
+func TestPaperShapeLBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	mach := testMachine(t)
+	cfg := cfg16(t, mach)
+	params := workload.Params{Seed: 1, Scale: shapeScale}
+
+	run := func(p policy.Policy) RunMetrics {
+		m, err := Run(mach, RunSpec{Workload: workload.LBM(), Config: cfg, Policy: p, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	buddy := run(policy.Buddy)
+	memllc := run(policy.MEMLLC)
+	bpm := run(policy.BPM)
+
+	if !(memllc.Runtime < buddy.Runtime) {
+		t.Errorf("MEM+LLC runtime %d not below buddy %d", memllc.Runtime, buddy.Runtime)
+	}
+	if !(buddy.Runtime < bpm.Runtime) {
+		t.Errorf("BPM runtime %d not above buddy %d (controller-oblivious penalty missing)",
+			bpm.Runtime, buddy.Runtime)
+	}
+	if !(memllc.TotalIdle < buddy.TotalIdle) {
+		t.Errorf("MEM+LLC idle %d not below buddy %d", memllc.TotalIdle, buddy.TotalIdle)
+	}
+	// Balance: buddy's max-min thread-runtime spread exceeds MEM+LLC's.
+	if !(Spread(buddy.ThreadRuntime) > Spread(memllc.ThreadRuntime)) {
+		t.Errorf("buddy spread %d not above MEM+LLC spread %d",
+			Spread(buddy.ThreadRuntime), Spread(memllc.ThreadRuntime))
+	}
+	// Mechanism evidence: coloring removes remote DRAM accesses.
+	if memllc.RemoteDRAMFrac != 0 {
+		t.Errorf("MEM+LLC remote fraction = %.3f, want 0", memllc.RemoteDRAMFrac)
+	}
+	if bpm.RemoteDRAMFrac < 0.5 {
+		t.Errorf("BPM remote fraction = %.3f, want most accesses remote", bpm.RemoteDRAMFrac)
+	}
+}
+
+// TestGainGrowsWithParallelism asserts the paper's observation that
+// 16_threads_4_nodes sees a larger MEM+LLC gain than 4_threads_1_nodes.
+func TestGainGrowsWithParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	mach := testMachine(t)
+	params := workload.Params{Seed: 1, Scale: shapeScale}
+	ratio := func(cfgName string) float64 {
+		cfg, err := ConfigByName(mach.Topo, cfgName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buddy, err := Run(mach, RunSpec{Workload: workload.LBM(), Config: cfg, Policy: policy.Buddy, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		colored, err := Run(mach, RunSpec{Workload: workload.LBM(), Config: cfg, Policy: policy.MEMLLC, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(colored.Runtime) / float64(buddy.Runtime)
+	}
+	big := ratio("16_threads_4_nodes")
+	small := ratio("4_threads_1_nodes")
+	if !(big < small) {
+		t.Errorf("MEM+LLC gain at 16t4n (ratio %.3f) not larger than at 4t1n (%.3f)", big, small)
+	}
+}
+
+func TestRunRepeatedSummaries(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := RunRepeated(mach, RunSpec{
+		Workload: workload.Synthetic(), Config: cfg,
+		Policy: policy.MEMLLC, Params: workload.Params{Seed: 1, Scale: 0.1},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Runtime.N != 3 {
+		t.Errorf("summary N = %d, want 3", cell.Runtime.N)
+	}
+	if cell.Runtime.Min > cell.Runtime.Mean || cell.Runtime.Mean > cell.Runtime.Max {
+		t.Errorf("summary ordering broken: %+v", cell.Runtime)
+	}
+	// Churn-seed variation must actually produce spread.
+	if cell.Runtime.Spread() == 0 {
+		t.Error("repeats produced identical runtimes; error bars are fake")
+	}
+	if len(cell.Last.ThreadRuntime) != 4 {
+		t.Errorf("per-thread vector = %d entries", len(cell.Last.ThreadRuntime))
+	}
+}
+
+func TestSuiteRowLookupAndTables(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSuite(mach, []workload.Workload{workload.Synthetic()},
+		[]Config{cfg}, workload.Params{Seed: 1, Scale: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := res.Row("synthetic", "4_threads_4_nodes")
+	if !ok {
+		t.Fatal("Row lookup failed")
+	}
+	if row.NormRuntime(row.Buddy) != 1.0 {
+		t.Errorf("buddy normalizes to %.3f, want 1", row.NormRuntime(row.Buddy))
+	}
+	if _, ok := res.Row("nope", "x"); ok {
+		t.Error("Row found nonexistent cell")
+	}
+	var sb strings.Builder
+	res.WriteRuntimeTable(&sb)
+	res.WriteIdleTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "synthetic") || !strings.Contains(out, "Fig. 12") {
+		t.Error("tables incomplete")
+	}
+}
+
+func TestPerThreadResultShape(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunPerThread(mach, workload.Synthetic(), cfg,
+		[]policy.Policy{policy.Buddy, policy.MEMLLC},
+		workload.Params{Seed: 1, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runtime) != 2 || len(r.Runtime[0]) != 4 {
+		t.Fatalf("per-thread matrix shape wrong: %dx%d", len(r.Runtime), len(r.Runtime[0]))
+	}
+	var sb strings.Builder
+	r.WriteTables(&sb)
+	if !strings.Contains(sb.String(), "Fig. 14") {
+		t.Error("WriteTables missing Fig. 14")
+	}
+}
+
+func TestSpreadAndMaxOf(t *testing.T) {
+	if Spread(nil) != 0 || MaxOf(nil) != 0 {
+		t.Error("empty vectors")
+	}
+	v := []clock.Dur{5, 2, 9, 3}
+	if Spread(v) != 7 || MaxOf(v) != 9 {
+		t.Errorf("Spread/MaxOf = %d/%d", Spread(v), MaxOf(v))
+	}
+}
+
+func TestDetailCoversAllPolicies(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunDetail(mach, workload.Synthetic(), cfg, workload.Params{Seed: 1, Scale: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(policy.All()) {
+		t.Errorf("detail rows = %d, want %d", len(r.Rows), len(policy.All()))
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	for _, p := range policy.All() {
+		if !strings.Contains(sb.String(), p.String()) {
+			t.Errorf("detail table missing %s", p)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.Params{Seed: 1, Scale: 0.1}
+
+	lat, err := RunLatency(mach, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := lat.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 5 {
+		t.Errorf("latency CSV has %d lines, want 5 (header+4 nodes)", lines)
+	}
+
+	f10, err := RunFig10(mach, cfg, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f10.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MEM+LLC") {
+		t.Error("fig10 CSV missing policy rows")
+	}
+
+	suite, err := RunSuite(mach, []workload.Workload{workload.Synthetic()}, []Config{cfg}, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := suite.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// header + 4 bars (buddy/BPM/MEM+LLC/other) per row.
+	if lines := strings.Count(sb.String(), "\n"); lines != 5 {
+		t.Errorf("suite CSV has %d lines, want 5", lines)
+	}
+	if !strings.Contains(sb.String(), "runtime_norm") {
+		t.Error("suite CSV missing normalized column")
+	}
+
+	pt, err := RunPerThread(mach, workload.Synthetic(), cfg,
+		[]policy.Policy{policy.Buddy}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := pt.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 5 {
+		t.Errorf("per-thread CSV has %d lines, want 5 (header+4 threads)", lines)
+	}
+
+	det, err := RunDetail(mach, workload.Synthetic(), cfg, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := det.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 8 {
+		t.Errorf("detail CSV has %d lines, want 8 (header+7 policies)", lines)
+	}
+}
+
+func TestParallelSuiteMatchesSequential(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.Params{Seed: 1, Scale: 0.1}
+	seq, err := RunSuiteParallel(mach, []workload.Workload{workload.Synthetic()}, []Config{cfg}, params, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSuiteParallel(mach, []workload.Workload{workload.Synthetic()}, []Config{cfg}, params, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seq.Rows[0], par.Rows[0]
+	if a.Buddy.Runtime != b.Buddy.Runtime || a.MEMLLC.Runtime != b.MEMLLC.Runtime ||
+		a.BPM.Runtime != b.BPM.Runtime || a.Other.Runtime != b.Other.Runtime ||
+		a.OtherPolicy != b.OtherPolicy {
+		t.Errorf("parallel suite diverged from sequential:\nseq %+v\npar %+v", a, b)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	r, err := RunSweep(SweepHopCycles, []float64{0, 50}, workload.Synthetic(),
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("sweep points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Buddy.Mean <= 0 || p.MEMLLC.Mean <= 0 || p.RatioMean <= 0 {
+			t.Errorf("degenerate sweep point %+v", p)
+		}
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	r.WriteChart(&sb)
+	if !strings.Contains(sb.String(), "hop-cycles") {
+		t.Error("sweep outputs missing parameter name")
+	}
+	// Unknown parameter and bad values are rejected.
+	if _, err := RunSweep(SweepParam("nope"), []float64{1}, workload.Synthetic(),
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30); err == nil {
+		t.Error("RunSweep accepted unknown parameter")
+	}
+	if _, err := RunSweep(SweepLLCWays, []float64{0}, workload.Synthetic(),
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30); err == nil {
+		t.Error("RunSweep accepted 0 LLC ways")
+	}
+}
+
+func TestChartsRender(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.Params{Seed: 1, Scale: 0.1}
+	f10, err := RunFig10(mach, cfg, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f10.WriteChart(&sb)
+	if !strings.Contains(sb.String(), "█") {
+		t.Error("fig10 chart drew no bars")
+	}
+	suite, err := RunSuite(mach, []workload.Workload{workload.Synthetic()}, []Config{cfg}, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	suite.WriteRuntimeChart(&sb)
+	suite.WriteIdleChart(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 11") || !strings.Contains(out, "Fig. 12") {
+		t.Error("suite charts incomplete")
+	}
+	// Extreme values clip with a marker instead of overflowing.
+	if got := bar(1000); !strings.HasSuffix(got, "▶") {
+		t.Errorf("oversized bar not clipped: %q", got)
+	}
+	if bar(-1) != "" {
+		t.Errorf("negative bar rendered: %q", bar(-1))
+	}
+}
+
+// TestPaperClaimsValidation grades every quantified claim of the
+// evaluation section against fresh measurements (the harness behind
+// cmd/tintreport). Reduced scale keeps the run fast; the claims are
+// scale-robust from ~0.4 up.
+func TestPaperClaimsValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claim validation skipped in -short mode")
+	}
+	mach := testMachine(t)
+	rep, err := RunPaperValidation(mach, workload.Params{Seed: 1, Scale: shapeScale}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) < 10 {
+		t.Fatalf("only %d claims graded", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Pass {
+			t.Errorf("claim %q failed: expected %s, measured %s", r.ID, r.Expected, r.Measured)
+		}
+	}
+	var sb strings.Builder
+	rep.WriteMarkdown(&sb)
+	if !strings.Contains(sb.String(), "claims satisfied") {
+		t.Error("markdown report incomplete")
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+)
+
+// Machine-readable exports of every experiment, for plotting the
+// figures outside Go. One row per measurement; all cycle counts are
+// simulated cycles.
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func fmtD(v clock.Dur) string {
+	return strconv.FormatUint(uint64(v), 10)
+}
+
+// WriteCSV exports the latency primer.
+func (r *LatencyResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "hops", "cycles_per_line"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Node), strconv.Itoa(row.Hops), fmtF(row.Cycles),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the Fig. 10 sweep.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "policy", "runtime_mean", "runtime_min", "runtime_max", "runtime_stddev"}); err != nil {
+		return err
+	}
+	for i, p := range r.Policies {
+		c := r.Cells[i]
+		if err := cw.Write([]string{
+			r.Config.Name, p.String(),
+			fmtF(c.Runtime.Mean), fmtF(c.Runtime.Min), fmtF(c.Runtime.Max), fmtF(c.Runtime.StdDev),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the suite matrix behind Figs. 11 and 12: one row
+// per (config, workload, policy bar) with absolute and normalized
+// runtime and idle.
+func (s *SuiteResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"config", "workload", "policy",
+		"runtime_mean", "runtime_norm", "idle_mean", "idle_norm",
+		"remote_frac", "l3_miss_rate", "row_conflict_frac",
+	}); err != nil {
+		return err
+	}
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		bars := []struct {
+			name string
+			cell Cell
+		}{
+			{"buddy", r.Buddy},
+			{"BPM", r.BPM},
+			{"MEM+LLC", r.MEMLLC},
+			{r.OtherPolicy.String(), r.Other},
+		}
+		for _, b := range bars {
+			if err := cw.Write([]string{
+				r.Config, r.Workload, b.name,
+				fmtF(b.cell.Runtime.Mean), fmtF(s.normOf(r, b.cell, true)),
+				fmtF(b.cell.Idle.Mean), fmtF(s.normOf(r, b.cell, false)),
+				fmtF(b.cell.Last.RemoteDRAMFrac),
+				fmtF(b.cell.Last.L3MissRate),
+				fmtF(b.cell.Last.RowConflictFrac),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (s *SuiteResult) normOf(r *SuiteRow, c Cell, runtime bool) float64 {
+	if runtime {
+		return r.NormRuntime(c)
+	}
+	return r.NormIdle(c)
+}
+
+// WriteCSV exports the per-thread vectors behind Figs. 13 and 14.
+func (r *PerThreadResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "config", "policy", "thread", "runtime", "idle"}); err != nil {
+		return err
+	}
+	for i, p := range r.Policies {
+		for t := 0; t < r.Config.Threads(); t++ {
+			if err := cw.Write([]string{
+				r.Workload, r.Config.Name, p.String(), strconv.Itoa(t),
+				fmtD(r.Runtime[i][t]), fmtD(r.Idle[i][t]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the per-policy detail table.
+func (d *DetailResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "config", "policy",
+		"runtime_mean", "idle_mean", "remote_frac", "l3_miss_rate", "row_conflict_frac",
+	}); err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		if err := cw.Write([]string{
+			d.Workload, d.Config.Name, row.Policy.String(),
+			fmtF(row.Cell.Runtime.Mean), fmtF(row.Cell.Idle.Mean),
+			fmtF(row.Cell.Last.RemoteDRAMFrac),
+			fmtF(row.Cell.Last.L3MissRate),
+			fmtF(row.Cell.Last.RowConflictFrac),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text bar-chart rendering of the paper's figures, so tintbench can
+// show the evaluation the way the paper presents it — grouped bars
+// normalized to buddy — without leaving the terminal.
+
+const barWidth = 40 // characters for a bar of value barScale
+const barScale = 2.0
+
+func bar(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	n := int(v / barScale * barWidth)
+	if n > barWidth {
+		return strings.Repeat("█", barWidth) + "▶"
+	}
+	return strings.Repeat("█", n)
+}
+
+// WriteChart renders Fig. 10 as horizontal bars (buddy = 1.0).
+func (r *Fig10Result) WriteChart(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 10 — synthetic benchmark, %s (bars normalized to buddy; shorter is faster)\n",
+		r.Config.Name)
+	base := r.Cells[0].Runtime.Mean
+	for i, p := range r.Policies {
+		v := r.Cells[i].Runtime.Mean / base
+		fmt.Fprintf(w, "  %-14s %5.3f %s\n", p.String(), v, bar(v))
+	}
+}
+
+// WriteRuntimeChart renders Fig. 11 as grouped bars.
+func (s *SuiteResult) WriteRuntimeChart(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 11 — benchmark runtime normalized to buddy (shorter is faster)")
+	s.writeChart(w, func(r *SuiteRow, c Cell) float64 { return r.NormRuntime(c) })
+}
+
+// WriteIdleChart renders Fig. 12 as grouped bars.
+func (s *SuiteResult) WriteIdleChart(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 12 — total idle time normalized to buddy (shorter is better)")
+	s.writeChart(w, func(r *SuiteRow, c Cell) float64 { return r.NormIdle(c) })
+}
+
+func (s *SuiteResult) writeChart(w io.Writer, norm func(*SuiteRow, Cell) float64) {
+	lastCfg := ""
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		if r.Config != lastCfg {
+			fmt.Fprintf(w, "%s\n", r.Config)
+			lastCfg = r.Config
+		}
+		fmt.Fprintf(w, "  %s\n", r.Workload)
+		rows := []struct {
+			name string
+			cell Cell
+		}{
+			{"buddy", r.Buddy},
+			{"BPM", r.BPM},
+			{"MEM+LLC", r.MEMLLC},
+			{r.OtherPolicy.String(), r.Other},
+		}
+		for _, b := range rows {
+			v := norm(r, b.cell)
+			fmt.Fprintf(w, "    %-14s %6.3f %s\n", b.name, v, bar(v))
+		}
+	}
+}
+
+// WriteChart renders a sensitivity sweep as a ratio-vs-value series.
+func (r *SweepResult) WriteChart(w io.Writer) {
+	fmt.Fprintf(w, "Sweep %s — MEM+LLC/buddy runtime ratio on %s (%s)\n",
+		r.Param, r.Workload, r.Config.Name)
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-10g %6.3f %s\n", p.Value, p.RatioMean, bar(p.RatioMean))
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench assembles full experiments: it builds the simulated
+// machine, pins threads per the paper's five configurations, applies
+// a coloring policy, runs a workload repeatedly with varying seeds,
+// and reports the metrics behind every figure of the evaluation
+// (Figs. 10-14) plus the local/remote latency primer.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tintmalloc/tintmalloc/internal/buddy"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/mem"
+	"github.com/tintmalloc/tintmalloc/internal/pci"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// Machine is an immutable description of the simulated platform;
+// every run builds fresh mutable state (kernel, caches, DRAM) from
+// it, so cells never contaminate each other. Aged buddy zones are
+// expensive to churn, so the machine caches one prototype per churn
+// seed and hands out clones.
+type Machine struct {
+	Topo    *topology.Topology
+	Mapping *phys.Mapping
+	MemCfg  mem.Config
+	KernCfg kernel.Config
+
+	mu        sync.Mutex
+	zoneCache map[int64][]*buddy.Allocator
+}
+
+// NewKernel boots a fresh kernel for one run, reusing cached aged
+// zones. churnSeed 0 selects the machine's default seed.
+func (m *Machine) NewKernel(churnSeed int64) (*kernel.Kernel, error) {
+	cfg := m.KernCfg
+	if churnSeed != 0 {
+		cfg.ChurnSeed = churnSeed
+	}
+	if cfg.ChurnSeed == 0 {
+		return kernel.New(m.Topo, m.Mapping, cfg)
+	}
+	m.mu.Lock()
+	if m.zoneCache == nil {
+		m.zoneCache = make(map[int64][]*buddy.Allocator)
+	}
+	proto, ok := m.zoneCache[cfg.ChurnSeed]
+	if !ok {
+		var err error
+		proto, err = kernel.BuildZones(m.Mapping, cfg)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		m.zoneCache[cfg.ChurnSeed] = proto
+	}
+	zones := make([]*buddy.Allocator, len(proto))
+	for i, z := range proto {
+		zones[i] = z.Clone()
+	}
+	m.mu.Unlock()
+	return kernel.NewWithZones(m.Topo, m.Mapping, cfg, zones)
+}
+
+// MachineOptions configures NewMachine.
+type MachineOptions struct {
+	// MemBytes is the installed physical memory (default 2 GiB).
+	MemBytes uint64
+	// Overlapped selects the paper-faithful Opteron mapping whose
+	// bank bits overlap the LLC color bits (default: separable).
+	Overlapped bool
+}
+
+// DefaultMemBytes is the evaluation machine's installed memory.
+const DefaultMemBytes = 2 << 30
+
+// NewMachine builds the paper's dual-socket Opteron 6128 platform.
+// The address mapping is programmed into a simulated PCI config space
+// by the BIOS and decoded back, exercising TintMalloc's boot-time
+// discovery path.
+func NewMachine(opts MachineOptions) (*Machine, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = DefaultMemBytes
+	}
+	topo := topology.Opteron6128()
+	build := phys.DefaultSeparable
+	if opts.Overlapped {
+		build = phys.OpteronOverlapped
+	}
+	m, err := build(opts.MemBytes, topo.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip through the PCI registers: the mapping the kernel
+	// uses is the one read back from config space, as in the paper.
+	space, err := pci.Bios(m)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := pci.DecodeMapping(space, topo.Nodes())
+	if err != nil {
+		return nil, fmt.Errorf("bench: PCI decode failed: %w", err)
+	}
+	kcfg := kernel.DefaultConfig()
+	// Age the zones: a real evaluation machine's buddy lists serve
+	// pages in scrambled physical order with resident pages pinning
+	// the fragmentation (see DESIGN.md).
+	kcfg.ChurnSeed = 0x7113
+	kcfg.HoldoutFrac = 0.05
+	kcfg.BuddyRemoteFrac = 0.12
+	return &Machine{
+		Topo:    topo,
+		Mapping: decoded,
+		MemCfg:  mem.DefaultConfig(),
+		KernCfg: kcfg,
+	}, nil
+}
+
+// Config is one of the paper's thread-pinning configurations.
+type Config struct {
+	Name  string
+	Cores []topology.CoreID
+}
+
+// Threads returns the thread count.
+func (c Config) Threads() int { return len(c.Cores) }
+
+// Configurations returns the paper's five configurations (Sec. V-B)
+// for the Opteron topology: thread counts and explicit core pinnings.
+func Configurations(topo *topology.Topology) []Config {
+	seq := func(cores ...int) []topology.CoreID {
+		out := make([]topology.CoreID, len(cores))
+		for i, c := range cores {
+			out[i] = topology.CoreID(c)
+		}
+		return out
+	}
+	return []Config{
+		{"16_threads_4_nodes", seq(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)},
+		{"8_threads_4_nodes", seq(0, 1, 4, 5, 8, 9, 12, 13)},
+		{"8_threads_2_nodes", seq(0, 1, 2, 3, 4, 5, 6, 7)},
+		{"4_threads_4_nodes", seq(0, 4, 8, 12)},
+		{"4_threads_1_nodes", seq(0, 1, 2, 3)},
+	}
+}
+
+// ConfigByName finds a paper configuration.
+func ConfigByName(topo *topology.Topology, name string) (Config, error) {
+	for _, c := range Configurations(topo) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("bench: unknown configuration %q", name)
+}

@@ -1,0 +1,235 @@
+// Package buddy implements a binary buddy page-frame allocator in the
+// style of the Linux kernel: free blocks of 2^order contiguous frames
+// (order 0..MaxOrder) are kept on per-order free lists, allocations
+// split larger blocks, and frees coalesce with the buddy block when
+// possible.
+//
+// TintMalloc's colored path sits on top of this allocator: order-0
+// colored requests drain whole buddy blocks into per-color lists via
+// the kernel's createColorList (paper Algorithm 2), using AllocExact
+// to take the head block of a specific order without splitting, while
+// all other requests go through the default Alloc path.
+//
+// The allocator is deterministic: free lists are LIFO intrusive
+// linked lists, so identical call sequences produce identical frame
+// placements.
+package buddy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// MaxOrder is the largest supported block order (2^MaxOrder frames,
+// 8 MiB with 4 KiB pages), matching Linux's default MAX_ORDER-1.
+const MaxOrder = 11
+
+// ErrNoMemory is returned when no block large enough is free.
+var ErrNoMemory = errors.New("buddy: out of memory")
+
+const nilFrame = int64(-1)
+
+// Allocator manages the frame range [0, Frames()).
+type Allocator struct {
+	nframes uint64
+	head    [MaxOrder + 1]int64 // head frame of each order's free list
+	next    []int64             // next free-block head, indexed by frame
+	prev    []int64
+	freeOrd []int8 // order of the free block headed at frame, or -1
+	free    uint64 // total free frames
+}
+
+// New creates an allocator over nframes frames, all initially free.
+// nframes need not be a power of two; the range is seeded with the
+// largest aligned blocks that fit.
+func New(nframes uint64) (*Allocator, error) {
+	if nframes == 0 {
+		return nil, fmt.Errorf("buddy: nframes must be > 0")
+	}
+	a := &Allocator{
+		nframes: nframes,
+		next:    make([]int64, nframes),
+		prev:    make([]int64, nframes),
+		freeOrd: make([]int8, nframes),
+	}
+	for i := range a.head {
+		a.head[i] = nilFrame
+	}
+	for i := range a.freeOrd {
+		a.freeOrd[i] = -1
+		a.next[i] = nilFrame
+		a.prev[i] = nilFrame
+	}
+	// Seed: walk the range placing the largest aligned block each
+	// time. Blocks are pushed low-address-last so that the LIFO pop
+	// order starts from low addresses.
+	type blk struct {
+		f   uint64
+		ord int
+	}
+	var blocks []blk
+	for pos := uint64(0); pos < nframes; {
+		ord := MaxOrder
+		for ord > 0 && (pos&((1<<ord)-1) != 0 || pos+(1<<ord) > nframes) {
+			ord--
+		}
+		blocks = append(blocks, blk{pos, ord})
+		pos += 1 << ord
+	}
+	for i := len(blocks) - 1; i >= 0; i-- {
+		a.push(phys.Frame(blocks[i].f), blocks[i].ord)
+	}
+	a.free = nframes
+	return a, nil
+}
+
+// Clone returns a deep copy of the allocator: same free lists, same
+// deterministic future behaviour, fully independent state. Used to
+// stamp out identical pre-aged zones for repeated experiment runs.
+func (a *Allocator) Clone() *Allocator {
+	c := &Allocator{
+		nframes: a.nframes,
+		head:    a.head,
+		next:    append([]int64(nil), a.next...),
+		prev:    append([]int64(nil), a.prev...),
+		freeOrd: append([]int8(nil), a.freeOrd...),
+		free:    a.free,
+	}
+	return c
+}
+
+// Frames returns the managed frame count.
+func (a *Allocator) Frames() uint64 { return a.nframes }
+
+// FreeFrames returns the number of currently free frames.
+func (a *Allocator) FreeFrames() uint64 { return a.free }
+
+// FreeBlocks returns the number of free blocks at each order.
+func (a *Allocator) FreeBlocks() [MaxOrder + 1]uint64 {
+	var out [MaxOrder + 1]uint64
+	for ord := 0; ord <= MaxOrder; ord++ {
+		for f := a.head[ord]; f != nilFrame; f = a.next[f] {
+			out[ord]++
+		}
+	}
+	return out
+}
+
+func (a *Allocator) push(f phys.Frame, ord int) {
+	i := int64(f)
+	a.next[i] = a.head[ord]
+	a.prev[i] = nilFrame
+	if a.head[ord] != nilFrame {
+		a.prev[a.head[ord]] = i
+	}
+	a.head[ord] = i
+	a.freeOrd[i] = int8(ord)
+}
+
+func (a *Allocator) remove(f phys.Frame, ord int) {
+	i := int64(f)
+	if a.prev[i] != nilFrame {
+		a.next[a.prev[i]] = a.next[i]
+	} else {
+		a.head[ord] = a.next[i]
+	}
+	if a.next[i] != nilFrame {
+		a.prev[a.next[i]] = a.prev[i]
+	}
+	a.next[i], a.prev[i] = nilFrame, nilFrame
+	a.freeOrd[i] = -1
+}
+
+// Alloc returns the head frame of a free block of 2^order frames,
+// splitting a larger block if necessary (the default Linux path).
+func (a *Allocator) Alloc(order int) (phys.Frame, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("buddy: order %d out of range [0,%d]", order, MaxOrder)
+	}
+	for i := order; i <= MaxOrder; i++ {
+		if a.head[i] == nilFrame {
+			continue
+		}
+		f := phys.Frame(a.head[i])
+		a.remove(f, i)
+		// Split down to the requested order, freeing upper halves.
+		for j := i; j > order; j-- {
+			half := phys.Frame(1) << (j - 1)
+			a.push(f+half, j-1)
+		}
+		a.free -= 1 << order
+		return f, nil
+	}
+	return 0, ErrNoMemory
+}
+
+// AllocExact pops the head free block of exactly the given order
+// without splitting larger blocks. It is the primitive behind the
+// colored refill path (paper Algorithm 1 lines 18-23: "if free_list[i]
+// is empty, continue; else create_color_list(i, head page)").
+func (a *Allocator) AllocExact(order int) (phys.Frame, bool) {
+	if order < 0 || order > MaxOrder || a.head[order] == nilFrame {
+		return 0, false
+	}
+	f := phys.Frame(a.head[order])
+	a.remove(f, order)
+	a.free -= 1 << order
+	return f, true
+}
+
+// AllocMatching scans the free list of the given order in LIFO order
+// and removes the first block satisfying match (called with the head
+// frame and the order). It backs the colored refill's free-list
+// traversal (paper Sec. III-C: "the kernel traverses the standard
+// free_list to find an available free page of such a color").
+func (a *Allocator) AllocMatching(order int, match func(head phys.Frame, order int) bool) (phys.Frame, bool) {
+	if order < 0 || order > MaxOrder {
+		return 0, false
+	}
+	for i := a.head[order]; i != nilFrame; i = a.next[i] {
+		f := phys.Frame(i)
+		if match(f, order) {
+			a.remove(f, order)
+			a.free -= 1 << order
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Free returns a block of 2^order frames headed at f, coalescing with
+// free buddies as far as possible.
+func (a *Allocator) Free(f phys.Frame, order int) error {
+	if order < 0 || order > MaxOrder {
+		return fmt.Errorf("buddy: order %d out of range [0,%d]", order, MaxOrder)
+	}
+	if uint64(f)&((1<<order)-1) != 0 {
+		return fmt.Errorf("buddy: frame %d misaligned for order %d", f, order)
+	}
+	if uint64(f)+(1<<order) > a.nframes {
+		return fmt.Errorf("buddy: block [%d, %d) exceeds range %d", f, uint64(f)+(1<<order), a.nframes)
+	}
+	if a.freeOrd[f] >= 0 {
+		return fmt.Errorf("buddy: double free of frame %d", f)
+	}
+	freed := uint64(1) << order
+	for order < MaxOrder {
+		buddy := f ^ (phys.Frame(1) << order)
+		if uint64(buddy)+(1<<order) > a.nframes {
+			break
+		}
+		if a.freeOrd[buddy] != int8(order) {
+			break
+		}
+		a.remove(buddy, order)
+		if buddy < f {
+			f = buddy
+		}
+		order++
+	}
+	a.push(f, order)
+	a.free += freed
+	return nil
+}

@@ -1,0 +1,365 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+func TestNewSeedsAllFrames(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 1024, 4096, 5000, 1 << 14} {
+		a, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.FreeFrames() != n {
+			t.Errorf("New(%d).FreeFrames() = %d", n, a.FreeFrames())
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+}
+
+func TestAllocSplitsAndFreeCoalesces(t *testing.T) {
+	a, err := New(1 << MaxOrder) // one max-order block
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("first alloc at frame %d, want 0", f)
+	}
+	if a.FreeFrames() != (1<<MaxOrder)-1 {
+		t.Errorf("FreeFrames after one alloc = %d", a.FreeFrames())
+	}
+	blocks := a.FreeBlocks()
+	// Splitting one max-order block for an order-0 page leaves one
+	// free block at each order 0..MaxOrder-1.
+	for ord := 0; ord < MaxOrder; ord++ {
+		if blocks[ord] != 1 {
+			t.Errorf("order %d free blocks = %d, want 1", ord, blocks[ord])
+		}
+	}
+	if err := a.Free(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != 1<<MaxOrder {
+		t.Errorf("FreeFrames after free = %d", a.FreeFrames())
+	}
+	blocks = a.FreeBlocks()
+	if blocks[MaxOrder] != 1 {
+		t.Errorf("block did not coalesce back to max order: %v", blocks)
+	}
+}
+
+func TestAllocExactNoSplit(t *testing.T) {
+	a, err := New(1 << MaxOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only a max-order block exists, so exact order-3 must fail.
+	if _, ok := a.AllocExact(3); ok {
+		t.Fatal("AllocExact(3) succeeded with only a max-order block free")
+	}
+	if f, ok := a.AllocExact(MaxOrder); !ok || f != 0 {
+		t.Fatalf("AllocExact(MaxOrder) = %d, %v", f, ok)
+	}
+	if a.FreeFrames() != 0 {
+		t.Errorf("FreeFrames = %d, want 0", a.FreeFrames())
+	}
+	if _, ok := a.AllocExact(MaxOrder); ok {
+		t.Error("AllocExact succeeded on empty allocator")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(3); err == nil {
+		t.Error("Alloc(3) on 4-frame allocator succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(0); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(0); err != ErrNoMemory {
+		t.Errorf("exhausted Alloc error = %v, want ErrNoMemory", err)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(f+1, 2); err == nil {
+		t.Error("Free accepted misaligned frame")
+	}
+	if err := a.Free(f, -1); err == nil {
+		t.Error("Free accepted negative order")
+	}
+	if err := a.Free(phys.Frame(1024), 0); err == nil {
+		t.Error("Free accepted out-of-range frame")
+	}
+	if err := a.Free(f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(f, 2); err == nil {
+		t.Error("double free not detected")
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	run := func() []phys.Frame {
+		a, err := New(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []phys.Frame
+		for i := 0; i < 64; i++ {
+			f, err := a.Alloc(i % 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic placement at alloc %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: random alloc/free sequences conserve frames and never
+// hand out overlapping blocks.
+func TestRandomAllocFreeConservation(t *testing.T) {
+	const nframes = 1 << 13
+	a, err := New(nframes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	type blk struct {
+		f   phys.Frame
+		ord int
+	}
+	var live []blk
+	owned := make(map[phys.Frame]bool)
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			ord := rng.Intn(4)
+			f, err := a.Alloc(ord)
+			if err != nil {
+				continue // full at this order; fine
+			}
+			for i := uint64(0); i < 1<<ord; i++ {
+				if owned[f+phys.Frame(i)] {
+					t.Fatalf("step %d: frame %d handed out twice", step, f+phys.Frame(i))
+				}
+				owned[f+phys.Frame(i)] = true
+			}
+			live = append(live, blk{f, ord})
+		} else {
+			i := rng.Intn(len(live))
+			b := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := a.Free(b.f, b.ord); err != nil {
+				t.Fatalf("step %d: free(%d, %d): %v", step, b.f, b.ord, err)
+			}
+			for j := uint64(0); j < 1<<b.ord; j++ {
+				delete(owned, b.f+phys.Frame(j))
+			}
+		}
+		if a.FreeFrames()+uint64(len(owned)) != nframes {
+			t.Fatalf("step %d: conservation violated: free %d + owned %d != %d",
+				step, a.FreeFrames(), len(owned), nframes)
+		}
+	}
+	// Free everything; must coalesce back to the seeded state.
+	for _, b := range live {
+		if err := a.Free(b.f, b.ord); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeFrames() != nframes {
+		t.Errorf("final FreeFrames = %d, want %d", a.FreeFrames(), nframes)
+	}
+	blocks := a.FreeBlocks()
+	if blocks[MaxOrder] != nframes>>MaxOrder {
+		t.Errorf("full coalescing failed: %v", blocks)
+	}
+}
+
+// Property: allocations are always block-aligned.
+func TestAllocAlignment(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err := New(1 << 12)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			ord := rng.Intn(5)
+			fr, err := a.Alloc(ord)
+			if err != nil {
+				return true
+			}
+			if uint64(fr)&((1<<ord)-1) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonPowerOfTwoRange(t *testing.T) {
+	a, err := New(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for {
+		_, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		got++
+	}
+	if got != 5000 {
+		t.Errorf("allocated %d order-0 frames from 5000-frame range", got)
+	}
+}
+
+func TestOrderRangeErrors(t *testing.T) {
+	a, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("Alloc(-1) succeeded")
+	}
+	if _, err := a.Alloc(MaxOrder + 1); err == nil {
+		t.Error("Alloc(MaxOrder+1) succeeded")
+	}
+	if _, ok := a.AllocExact(-1); ok {
+		t.Error("AllocExact(-1) succeeded")
+	}
+	if _, ok := a.AllocExact(MaxOrder + 1); ok {
+		t.Error("AllocExact(MaxOrder+1) succeeded")
+	}
+}
+
+func TestAllocMatching(t *testing.T) {
+	a, err := New(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split everything to order 4 blocks first.
+	var order4 []phys.Frame
+	for {
+		f, err := a.Alloc(4)
+		if err != nil {
+			break
+		}
+		order4 = append(order4, f)
+	}
+	for _, f := range order4 {
+		if err := a.Free(f, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Coalescing rebuilt larger blocks; now ask for an order that
+	// exists and match a specific frame range.
+	want := phys.Frame(512)
+	f, ok := a.AllocMatching(MaxOrder, func(head phys.Frame, ord int) bool {
+		return head <= want && want < head+phys.Frame(1)<<ord
+	})
+	if !ok {
+		t.Fatal("AllocMatching found no block")
+	}
+	if !(f <= want && want < f+phys.Frame(1)<<MaxOrder) {
+		t.Errorf("matched block [%d,...) does not contain %d", f, want)
+	}
+	// No block satisfies an impossible predicate.
+	if _, ok := a.AllocMatching(MaxOrder, func(phys.Frame, int) bool { return false }); ok {
+		t.Error("AllocMatching matched impossible predicate")
+	}
+	if _, ok := a.AllocMatching(-1, func(phys.Frame, int) bool { return true }); ok {
+		t.Error("AllocMatching accepted bad order")
+	}
+}
+
+func TestAllocMatchingConservation(t *testing.T) {
+	a, err := New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.FreeFrames()
+	f, ok := a.AllocMatching(MaxOrder-3, func(phys.Frame, int) bool { return true })
+	if !ok {
+		t.Skip("no block at that order after seeding")
+	}
+	if a.FreeFrames() != before-(1<<(MaxOrder-3)) {
+		t.Errorf("FreeFrames = %d after removing order-%d block from %d",
+			a.FreeFrames(), MaxOrder-3, before)
+	}
+	if err := a.Free(f, MaxOrder-3); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != before {
+		t.Errorf("free count not restored: %d vs %d", a.FreeFrames(), before)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb, clone, then diverge.
+	f1, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	if c.FreeFrames() != a.FreeFrames() {
+		t.Fatalf("clone free count %d != original %d", c.FreeFrames(), a.FreeFrames())
+	}
+	// Same deterministic future before divergence.
+	fa, _ := a.AllocExact(0)
+	fc, _ := c.AllocExact(0)
+	if fa != fc {
+		t.Errorf("clone diverged immediately: %d vs %d", fa, fc)
+	}
+	// Mutating one must not affect the other.
+	if err := a.Free(f1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeFrames() == a.FreeFrames() {
+		t.Error("clone shares state with original")
+	}
+	// The clone can still free its copy of the block.
+	if err := c.Free(f1, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package cache models set-associative write-back caches with LRU
+// replacement: per-core private L1/L2 and the shared last-level L3 of
+// the paper's platform (Sec. II-A).
+//
+// The L3's set index covers physical-address bits [LineShift,
+// LineShift+log2(sets)); with 128-byte lines and 8192 sets that spans
+// bits 7-19 and therefore contains the page-color bits 12-16. Threads
+// holding disjoint LLC colors consequently occupy disjoint L3 sets —
+// the isolation mechanism TintMalloc's LLC coloring relies on.
+//
+// Caches are not safe for concurrent use; the discrete-event engine
+// serializes all accesses.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string    // for diagnostics ("L1d", "L2", "L3")
+	SizeBytes uint64    // total capacity
+	Ways      int       // associativity
+	LineShift uint      // log2 line size
+	Latency   clock.Dur // hit latency in cycles
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // valid lines displaced
+}
+
+// HitRate returns Hits/Accesses, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit          bool
+	EvictedLine  uint64 // full line number of the displaced victim
+	EvictedValid bool
+	EvictedDirty bool
+}
+
+// Cache is a single set-associative level.
+type Cache struct {
+	cfg      Config
+	setShift uint // log2(sets)
+	setMask  uint64
+	ways     int
+	// lines[set*ways : (set+1)*ways] ordered MRU first.
+	lines []line
+	stats Stats
+}
+
+// New validates cfg and builds the cache. sets = size/(line*ways)
+// must be a power of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes == 0 || cfg.Ways < 1 {
+		return nil, fmt.Errorf("cache %s: size and ways must be positive", cfg.Name)
+	}
+	lineSize := uint64(1) << cfg.LineShift
+	if cfg.SizeBytes%(lineSize*uint64(cfg.Ways)) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible by line*ways", cfg.Name, cfg.SizeBytes)
+	}
+	sets := cfg.SizeBytes / (lineSize * uint64(cfg.Ways))
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	return &Cache{
+		cfg:      cfg,
+		setShift: uint(bits.TrailingZeros64(sets)),
+		setMask:  sets - 1,
+		ways:     cfg.Ways,
+		lines:    make([]line, sets*uint64(cfg.Ways)),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask + 1) }
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() clock.Dur { return c.cfg.Latency }
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// SetOf returns the set index of a line number (addr >> LineShift).
+func (c *Cache) SetOf(ln uint64) int { return int(ln & c.setMask) }
+
+// Access looks up line ln (an address right-shifted by LineShift),
+// installing it on a miss. write marks the line dirty.
+func (c *Cache) Access(ln uint64, write bool) Result {
+	c.stats.Accesses++
+	set := ln & c.setMask
+	tag := ln >> c.setShift
+	base := int(set) * c.ways
+	ways := c.lines[base : base+c.ways]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			// Hit: move to MRU position.
+			hit := ways[i]
+			copy(ways[1:i+1], ways[:i])
+			if write {
+				hit.dirty = true
+			}
+			ways[0] = hit
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	victim := ways[c.ways-1]
+	copy(ways[1:], ways[:c.ways-1])
+	ways[0] = line{tag: tag, valid: true, dirty: write}
+	res := Result{}
+	if victim.valid {
+		c.stats.Evictions++
+		res.EvictedValid = true
+		res.EvictedDirty = victim.dirty
+		res.EvictedLine = victim.tag<<c.setShift | set
+	}
+	return res
+}
+
+// Contains reports (without LRU side effects) whether ln is cached.
+func (c *Cache) Contains(ln uint64) bool {
+	set := ln & c.setMask
+	tag := ln >> c.setShift
+	base := int(set) * c.ways
+	for _, w := range c.lines[base : base+c.ways] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (dirty contents are discarded; victim
+// write-back on flush is not modeled).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without invalidating contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Opteron-like default level configurations (paper Sec. IV: 128 KB
+// L1, 512 KB private L2, 12 MB shared L3, 128-byte lines).
+
+// DefaultL1 returns the per-core L1 data cache configuration.
+func DefaultL1() Config {
+	return Config{Name: "L1d", SizeBytes: 128 << 10, Ways: 2, LineShift: 7, Latency: 3}
+}
+
+// DefaultL2 returns the per-core unified L2 configuration.
+func DefaultL2() Config {
+	return Config{Name: "L2", SizeBytes: 512 << 10, Ways: 8, LineShift: 7, Latency: 15}
+}
+
+// DefaultL3 returns the shared last-level cache configuration: 12 MB,
+// 12-way, 8192 sets, so the set index spans address bits 7-19 and
+// includes the LLC color bits 12-16.
+func DefaultL3() Config {
+	return Config{Name: "L3", SizeBytes: 12 << 20, Ways: 12, LineShift: 7, Latency: 40}
+}

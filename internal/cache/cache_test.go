@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T, ways int) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", SizeBytes: uint64(ways) * 4 * 128, Ways: ways, LineShift: 7, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHitAfterInstall(t *testing.T) {
+	c := small(t, 2)
+	if r := c.Access(5, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(5, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t, 2) // 4 sets, 2 ways
+	// Three lines mapping to set 0: 0, 4, 8.
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false) // touch 0: 4 becomes LRU
+	r := c.Access(8, false)
+	if r.Hit {
+		t.Fatal("conflicting access hit")
+	}
+	if !r.EvictedValid || r.EvictedLine != 4 {
+		t.Errorf("evicted %d (valid=%v), want line 4", r.EvictedLine, r.EvictedValid)
+	}
+	if !c.Contains(0) || c.Contains(4) || !c.Contains(8) {
+		t.Error("LRU order violated")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small(t, 2)
+	c.Access(0, true) // write: dirty
+	c.Access(4, false)
+	r := c.Access(8, false) // evicts 0
+	if !r.EvictedValid || r.EvictedLine != 0 || !r.EvictedDirty {
+		t.Errorf("dirty eviction result = %+v", r)
+	}
+	// A read-only line evicts clean.
+	c2 := small(t, 2)
+	c2.Access(0, false)
+	c2.Access(4, false)
+	r2 := c2.Access(8, false)
+	if r2.EvictedDirty {
+		t.Error("clean line evicted dirty")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := small(t, 2)
+	c.Access(0, false)
+	c.Access(0, true) // hit-write marks dirty
+	c.Access(4, false)
+	r := c.Access(8, false)
+	if !r.EvictedDirty {
+		t.Error("write-hit did not mark line dirty")
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	c := small(t, 2) // 4 sets
+	for ln := uint64(0); ln < 16; ln++ {
+		if got, want := c.SetOf(ln), int(ln%4); got != want {
+			t.Errorf("SetOf(%d) = %d, want %d", ln, got, want)
+		}
+	}
+	// Lines in different sets never evict each other.
+	c.Access(0, false)
+	c.Access(1, false)
+	c.Access(2, false)
+	c.Access(3, false)
+	for ln := uint64(0); ln < 4; ln++ {
+		if !c.Contains(ln) {
+			t.Errorf("line %d displaced by disjoint-set access", ln)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small(t, 2)
+	c.Access(0, true)
+	c.Flush()
+	if c.Contains(0) {
+		t.Error("Flush left line resident")
+	}
+	if r := c.Access(0, false); r.Hit {
+		t.Error("hit after flush")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2, LineShift: 7},
+		{SizeBytes: 1024, Ways: 0, LineShift: 7},
+		{SizeBytes: 1000, Ways: 2, LineShift: 7},        // not divisible
+		{SizeBytes: 3 * 2 * 128, Ways: 2, LineShift: 7}, // 3 sets: not pow2
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(bad %d) succeeded", i)
+		}
+	}
+}
+
+func TestDefaultsGeometry(t *testing.T) {
+	l3, err := New(DefaultL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l3.Sets(), 8192; got != want {
+		t.Errorf("L3 sets = %d, want %d", got, want)
+	}
+	l1, err := New(DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l1.Sets(), 512; got != want {
+		t.Errorf("L1 sets = %d, want %d", got, want)
+	}
+	l2, err := New(DefaultL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l2.Sets(), 512; got != want {
+		t.Errorf("L2 sets = %d, want %d", got, want)
+	}
+	if !(l1.Latency() < l2.Latency() && l2.Latency() < l3.Latency()) {
+		t.Error("default latencies not increasing down the hierarchy")
+	}
+}
+
+// The LLC color property: two lines whose page-color bits (address
+// bits 12-16) differ always land in different L3 sets.
+func TestL3ColorBitsPartitionSets(t *testing.T) {
+	l3, err := New(DefaultL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint32) bool {
+		la, lb := uint64(a), uint64(b)
+		colorA := (la << 7 >> 12) & 31 // line -> addr -> color bits
+		colorB := (lb << 7 >> 12) & 31
+		if colorA == colorB {
+			return true // nothing to check
+		}
+		return l3.SetOf(la) != l3.SetOf(lb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than the associativity within one
+// set never misses after warmup (LRU correctness).
+func TestLRUNoThrashWithinAssociativity(t *testing.T) {
+	c := small(t, 4) // 4 ways, 2 sets... size = 4 ways*4 sets
+	// lines 0,4,8,12 all map to set 0 in a 4-set cache.
+	lines := []uint64{0, 4, 8, 12}
+	for _, ln := range lines {
+		c.Access(ln, false)
+	}
+	before := c.Stats().Misses
+	for round := 0; round < 10; round++ {
+		for _, ln := range lines {
+			c.Access(ln, false)
+		}
+	}
+	if got := c.Stats().Misses; got != before {
+		t.Errorf("misses grew from %d to %d on resident working set", before, got)
+	}
+}
+
+func TestEvictedLineRoundTrip(t *testing.T) {
+	// The evicted line number must reconstruct exactly.
+	c := small(t, 1) // direct-mapped, 4 sets
+	c.Access(0x123<<2|1, false)
+	r := c.Access(0x456<<2|1, false) // same set 1
+	if !r.EvictedValid || r.EvictedLine != 0x123<<2|1 {
+		t.Errorf("EvictedLine = %#x, want %#x", r.EvictedLine, 0x123<<2|1)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := small(t, 2)
+	c.Access(0, false)
+	c.ResetStats()
+	if st := c.Stats(); st.Accesses != 0 {
+		t.Errorf("ResetStats left %+v", st)
+	}
+	if !c.Contains(0) {
+		t.Error("ResetStats invalidated contents")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty HitRate != 0")
+	}
+	s = Stats{Accesses: 4, Hits: 1}
+	if s.HitRate() != 0.25 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+// Reference-model check: the cache must agree, access for access,
+// with a naive map+timestamp LRU simulation under random traffic.
+func TestAgainstReferenceLRU(t *testing.T) {
+	const (
+		sets = 8
+		ways = 4
+	)
+	c, err := New(Config{Name: "ref", SizeBytes: sets * ways * 128, Ways: ways, LineShift: 7, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type refLine struct {
+		tag  uint64
+		used int // timestamp of last use
+	}
+	ref := make([][]refLine, sets) // per set, unordered
+	tick := 0
+	refAccess := func(ln uint64) bool {
+		set := ln % sets
+		tag := ln / sets
+		tick++
+		for i := range ref[set] {
+			if ref[set][i].tag == tag {
+				ref[set][i].used = tick
+				return true
+			}
+		}
+		if len(ref[set]) < ways {
+			ref[set] = append(ref[set], refLine{tag, tick})
+			return false
+		}
+		lru := 0
+		for i := range ref[set] {
+			if ref[set][i].used < ref[set][lru].used {
+				lru = i
+			}
+		}
+		ref[set][lru] = refLine{tag, tick}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 50000; i++ {
+		ln := uint64(rng.Intn(sets * ways * 4)) // 4x capacity -> plenty of conflicts
+		gotHit := c.Access(ln, rng.Intn(2) == 0).Hit
+		wantHit := refAccess(ln)
+		if gotHit != wantHit {
+			t.Fatalf("access %d (line %d): cache hit=%v, reference hit=%v", i, ln, gotHit, wantHit)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package clock defines the simulated time base shared by the cache,
+// DRAM, interconnect and execution-engine models. Time is measured in
+// core cycles of the simulated machine (2 GHz on the paper's Opteron
+// 6128, so 1 cycle = 0.5 ns); it has no relation to wall-clock time.
+package clock
+
+// Time is an absolute instant in simulated core cycles.
+type Time uint64
+
+// Dur is a span of simulated core cycles.
+type Dur = Time
+
+// Max returns the later of two instants.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

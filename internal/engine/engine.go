@@ -1,0 +1,369 @@
+// Package engine executes simulated multi-threaded programs against
+// the machine model: a conservative discrete-event simulator in which
+// every thread owns a virtual clock, advances through its memory
+// accesses in global time order, and synchronizes with the other
+// threads at the implicit barrier ending each parallel phase —
+// OpenMP-style fork-join execution.
+//
+// Idle time is measured exactly as in the paper's Algorithm 3: for
+// each parallel phase the engine records every thread's completion
+// instant end[tid]; the barrier releases at max(end), and thread tid
+// accumulates idle[tid] += max(end) - end[tid].
+//
+// Thread bodies are ordinary Go functions written in range-over-func
+// style (Work); the engine pulls one operation at a time from the
+// thread whose clock is earliest, so kernel and memory-system state
+// always mutate in virtual-time order and runs are deterministic.
+package engine
+
+import (
+	"fmt"
+	"iter"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/heap"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/mem"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Op is one step of a simulated thread: optional compute cycles
+// followed by at most one memory access.
+type Op struct {
+	Compute clock.Dur // compute cycles before the access
+	VA      uint64    // virtual address; 0 means compute-only
+	Write   bool
+}
+
+// Work is a thread body: it yields Ops in program order. The yield
+// function returns false when the engine aborts the run; the body
+// must then return promptly.
+type Work func(yield func(Op) bool)
+
+// Thread couples a kernel task (whose pinned core issues the
+// accesses and whose colors govern its page faults) with its heap
+// arena.
+type Thread struct {
+	Task *kernel.Task
+	Heap *heap.Heap
+}
+
+// Phase is one program section. Entry i of Work is thread i's body; a
+// nil entry means the thread does not participate (it waits at the
+// phase boundary without accumulating barrier idle unless the phase
+// is parallel, i.e. has two or more participants).
+//
+// NoWait removes the implicit barrier at the END of the phase, like
+// `#pragma omp for nowait` (which the paper's Algorithm 3 uses):
+// each thread flows into the next phase at its own completion
+// instant, and no idle time is charged for this phase. The final
+// phase of a run always synchronizes so the program has a defined
+// end time.
+type Phase struct {
+	Name   string
+	Work   []Work
+	NoWait bool
+}
+
+// NoWaitParallel builds a barrier-less parallel phase.
+func NoWaitParallel(name string, bodies []Work) Phase {
+	return Phase{Name: name, Work: bodies, NoWait: true}
+}
+
+// Serial builds a phase where only the master (thread 0 of n) runs.
+func Serial(name string, n int, master Work) Phase {
+	w := make([]Work, n)
+	w[0] = master
+	return Phase{Name: name, Work: w}
+}
+
+// Parallel builds a phase from one body per thread.
+func Parallel(name string, bodies []Work) Phase {
+	return Phase{Name: name, Work: bodies}
+}
+
+// PhaseResult captures one phase's timing.
+type PhaseResult struct {
+	Name     string
+	Start    clock.Time
+	End      clock.Time // barrier release = max thread end
+	Parallel bool       // two or more participants
+	// ThreadEnd[i] is thread i's completion instant (its phase
+	// start for non-participants).
+	ThreadEnd []clock.Time
+}
+
+// Result aggregates a full program run.
+type Result struct {
+	Runtime clock.Dur // total program runtime (all phases)
+	// ThreadRuntime[i] is the busy time thread i spent inside
+	// parallel phases (paper Fig. 13).
+	ThreadRuntime []clock.Dur
+	// ThreadIdle[i] is the barrier wait accumulated by thread i
+	// across parallel phases (paper Fig. 14, Algorithm 3).
+	ThreadIdle []clock.Dur
+	// TotalIdle is the sum over threads (paper Fig. 12).
+	TotalIdle clock.Dur
+	// FaultCycles[i] is the simulated time thread i spent in page
+	// faults (included in its runtime).
+	FaultCycles []clock.Dur
+	Phases      []PhaseResult
+}
+
+// MaxThreadRuntime returns the slowest thread's parallel-phase time.
+func (r *Result) MaxThreadRuntime() clock.Dur { return maxDur(r.ThreadRuntime) }
+
+// MinThreadRuntime returns the fastest thread's parallel-phase time.
+func (r *Result) MinThreadRuntime() clock.Dur {
+	if len(r.ThreadRuntime) == 0 {
+		return 0
+	}
+	min := r.ThreadRuntime[0]
+	for _, d := range r.ThreadRuntime[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+func maxDur(ds []clock.Dur) clock.Dur {
+	var m clock.Dur
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TraceEvent describes one executed memory access, delivered to the
+// engine's tracer in virtual-time order.
+type TraceEvent struct {
+	Thread      int
+	Phase       string
+	VA          uint64
+	PA          phys.Addr
+	Write       bool
+	Start       clock.Time // instant the access was issued
+	Done        clock.Time // completion instant
+	Level       mem.Level  // where the access was served
+	FaultCycles clock.Dur  // page-fault overhead included in Done-Start
+}
+
+// Tracer receives every executed access. Must not retain the event
+// past the call.
+type Tracer func(TraceEvent)
+
+// Engine runs programs on one memory system. Create a fresh Engine
+// (and memory system) per experiment run.
+type Engine struct {
+	mem      *mem.System
+	threads  []Thread
+	now      clock.Time
+	tracer   Tracer
+	opBudget uint64
+	// release[i] is thread i's personal start time for the next
+	// phase (diverges from `now` after a NoWait phase).
+	release []clock.Time
+}
+
+// SetTracer installs (or, with nil, removes) an access tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// maxOps guards against runaway thread bodies (an infinite yield
+// loop would otherwise hang the simulation silently). Overridable
+// through SetOpBudget for genuinely enormous runs.
+var defaultOpBudget uint64 = 1 << 33
+
+// SetOpBudget caps the total ops a single phase may execute (0
+// restores the default of 2^33).
+func (e *Engine) SetOpBudget(n uint64) {
+	if n == 0 {
+		n = defaultOpBudget
+	}
+	e.opBudget = n
+}
+
+// New creates an engine for the given threads.
+func New(ms *mem.System, threads []Thread) (*Engine, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("engine: no threads")
+	}
+	for i, th := range threads {
+		if th.Task == nil {
+			return nil, fmt.Errorf("engine: thread %d has no task", i)
+		}
+	}
+	return &Engine{mem: ms, threads: threads, opBudget: defaultOpBudget}, nil
+}
+
+// Mem returns the engine's memory system.
+func (e *Engine) Mem() *mem.System { return e.mem }
+
+// Threads returns the engine's thread table.
+func (e *Engine) Threads() []Thread { return e.threads }
+
+// Now returns the global virtual clock (the last barrier release).
+func (e *Engine) Now() clock.Time { return e.now }
+
+// runnerState is one live thread within a phase.
+type runnerState struct {
+	id   int
+	time clock.Time
+	next func() (Op, bool)
+	stop func()
+}
+
+// Run executes the phases in order and returns the aggregated
+// result. On error (e.g. a thread ran out of colored memory) the
+// partial result is returned alongside the error.
+func (e *Engine) Run(phases []Phase) (*Result, error) {
+	n := len(e.threads)
+	res := &Result{
+		ThreadRuntime: make([]clock.Dur, n),
+		ThreadIdle:    make([]clock.Dur, n),
+		FaultCycles:   make([]clock.Dur, n),
+	}
+	if e.release == nil {
+		e.release = make([]clock.Time, n)
+		for i := range e.release {
+			e.release[i] = e.now
+		}
+	}
+	for pi, ph := range phases {
+		if len(ph.Work) != n {
+			return res, fmt.Errorf("engine: phase %q has %d bodies for %d threads",
+				ph.Name, len(ph.Work), n)
+		}
+		barrier := !ph.NoWait || pi == len(phases)-1
+		pr, err := e.runPhase(ph, res, barrier)
+		res.Phases = append(res.Phases, pr)
+		if err != nil {
+			return res, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
+		}
+	}
+	res.Runtime = clock.Dur(e.now)
+	for _, d := range res.ThreadIdle {
+		res.TotalIdle += d
+	}
+	return res, nil
+}
+
+func (e *Engine) runPhase(ph Phase, res *Result, barrier bool) (PhaseResult, error) {
+	start := e.now
+	pr := PhaseResult{
+		Name:      ph.Name,
+		Start:     start,
+		ThreadEnd: make([]clock.Time, len(e.threads)),
+	}
+	for i := range pr.ThreadEnd {
+		pr.ThreadEnd[i] = e.release[i]
+	}
+
+	// Materialize pull-iterators for every participant. Each thread
+	// begins at its personal release time (== the last barrier, or
+	// its own previous completion after a NoWait phase).
+	var live []*runnerState
+	participants := 0
+	for i, w := range ph.Work {
+		if w == nil {
+			continue
+		}
+		participants++
+		next, stop := iter.Pull(iter.Seq[Op](w))
+		live = append(live, &runnerState{id: i, time: e.release[i], next: next, stop: stop})
+	}
+	pr.Parallel = participants >= 2
+	defer func() {
+		for _, r := range live {
+			r.stop()
+		}
+	}()
+
+	var runErr error
+	var ops uint64
+	for len(live) > 0 && runErr == nil {
+		if ops++; ops > e.opBudget {
+			runErr = fmt.Errorf("op budget of %d exceeded (runaway thread body?)", e.opBudget)
+			break
+		}
+		// Pick the earliest thread (ties by id) — a conservative
+		// discrete-event step.
+		sel := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].time < live[sel].time ||
+				(live[i].time == live[sel].time && live[i].id < live[sel].id) {
+				sel = i
+			}
+		}
+		r := live[sel]
+		op, ok := r.next()
+		if !ok {
+			pr.ThreadEnd[r.id] = r.time
+			r.stop()
+			live = append(live[:sel], live[sel+1:]...)
+			continue
+		}
+		r.time += op.Compute
+		if op.VA != 0 {
+			th := e.threads[r.id]
+			start := r.time
+			pa, faultCost, err := th.Task.Translate(op.VA)
+			if err != nil {
+				runErr = fmt.Errorf("thread %d at %#x: %w", r.id, op.VA, err)
+				pr.ThreadEnd[r.id] = r.time
+				break
+			}
+			r.time += faultCost
+			res.FaultCycles[r.id] += faultCost
+			done, level := e.mem.AccessLevel(th.Task.Core(), pa, op.Write, r.time)
+			r.time = done
+			if e.tracer != nil {
+				e.tracer(TraceEvent{
+					Thread: r.id, Phase: ph.Name,
+					VA: op.VA, PA: pa, Write: op.Write,
+					Start: start, Done: done, Level: level,
+					FaultCycles: faultCost,
+				})
+			}
+		}
+	}
+
+	end := start
+	for _, t := range pr.ThreadEnd {
+		if t > end {
+			end = t
+		}
+	}
+	pr.End = end
+	if pr.Parallel {
+		for i, w := range ph.Work {
+			if w == nil {
+				continue
+			}
+			res.ThreadRuntime[i] += clock.Dur(pr.ThreadEnd[i] - e.release[i])
+			if barrier {
+				res.ThreadIdle[i] += clock.Dur(end - pr.ThreadEnd[i])
+			}
+		}
+	}
+	if barrier {
+		// Implicit barrier: everyone waits for the slowest
+		// participant, then starts the next phase together.
+		for i := range e.release {
+			e.release[i] = end
+		}
+		e.now = end
+	} else {
+		// nowait: each participant flows on from its own end;
+		// non-participants keep their previous release.
+		for i, w := range ph.Work {
+			if w != nil {
+				e.release[i] = pr.ThreadEnd[i]
+			}
+		}
+		e.now = end
+	}
+	return pr, runErr
+}

@@ -1,0 +1,363 @@
+package heap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+const testMem = 256 << 20
+
+func newHeap(t *testing.T) (*Heap, *kernel.Kernel) {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(top, m, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.NewProcess().NewTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(task), k
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	h, _ := newHeap(t)
+	va, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, ok := h.SizeOf(va); !ok || sz != 128 {
+		t.Errorf("SizeOf = %d,%v; want 128 (class rounding)", sz, ok)
+	}
+	if err := h.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(va); !errors.Is(err, ErrInvalidFree) {
+		t.Errorf("double free error = %v", err)
+	}
+	if h.LiveAllocations() != 0 {
+		t.Errorf("LiveAllocations = %d", h.LiveAllocations())
+	}
+}
+
+func TestMallocZeroRejected(t *testing.T) {
+	h, _ := newHeap(t)
+	if _, err := h.Malloc(0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("Malloc(0) error = %v", err)
+	}
+}
+
+func TestSlabReuseAfterFree(t *testing.T) {
+	h, _ := newHeap(t)
+	va1, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(va1); err != nil {
+		t.Fatal(err)
+	}
+	va2, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va1 != va2 {
+		t.Errorf("freed slot not reused: %#x then %#x", va1, va2)
+	}
+	if h.Stats().SlabsMapped != 1 {
+		t.Errorf("SlabsMapped = %d, want 1", h.Stats().SlabsMapped)
+	}
+}
+
+func TestDistinctAllocationsDontOverlap(t *testing.T) {
+	h, _ := newHeap(t)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		va, err := h.Malloc(48) // class 64
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[va] {
+			t.Fatalf("allocation %d returned duplicate address %#x", i, va)
+		}
+		seen[va] = true
+		if va%64 != 0 {
+			t.Fatalf("allocation %#x not aligned to its class", va)
+		}
+	}
+}
+
+func TestHugeAllocation(t *testing.T) {
+	h, _ := newHeap(t)
+	va, err := h.Malloc(3 * phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := h.SizeOf(va); sz != 3*phys.PageSize {
+		t.Errorf("huge SizeOf = %d", sz)
+	}
+	if h.Stats().HugeMapped != 1 {
+		t.Errorf("HugeMapped = %d", h.Stats().HugeMapped)
+	}
+	if err := h.Free(va); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallocOverflow(t *testing.T) {
+	h, _ := newHeap(t)
+	if _, err := h.Calloc(^uint64(0), 16); !errors.Is(err, ErrBadSize) {
+		t.Errorf("Calloc overflow error = %v", err)
+	}
+	va, err := h.Calloc(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := h.SizeOf(va); sz != 128 {
+		t.Errorf("Calloc(10,10) size = %d, want 128", sz)
+	}
+}
+
+func TestReallocGrowAndShrinkInPlace(t *testing.T) {
+	h, _ := newHeap(t)
+	va, err := h.Malloc(100) // class 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the same class: stays put.
+	va2, err := h.Realloc(va, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va2 != va {
+		t.Errorf("in-place realloc moved %#x -> %#x", va, va2)
+	}
+	// Growing beyond the class: moves.
+	va3, err := h.Realloc(va, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va3 == va {
+		t.Error("growing realloc did not move")
+	}
+	if _, ok := h.SizeOf(va); ok {
+		t.Error("old block still live after realloc move")
+	}
+	// Realloc of nil behaves like malloc.
+	va4, err := h.Realloc(0, 32)
+	if err != nil || va4 == 0 {
+		t.Errorf("Realloc(0, 32) = %#x, %v", va4, err)
+	}
+	// Realloc of a bogus pointer fails.
+	if _, err := h.Realloc(0xDEAD000, 64); !errors.Is(err, ErrInvalidFree) {
+		t.Errorf("Realloc(bogus) error = %v", err)
+	}
+}
+
+func TestBytesLiveAccounting(t *testing.T) {
+	h, _ := newHeap(t)
+	va1, _ := h.Malloc(16)
+	va2, _ := h.Malloc(3 * phys.PageSize)
+	want := uint64(16 + 3*phys.PageSize)
+	if got := h.Stats().BytesLive; got != want {
+		t.Errorf("BytesLive = %d, want %d", got, want)
+	}
+	if err := h.Free(va1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(va2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Stats().BytesLive; got != 0 {
+		t.Errorf("BytesLive after frees = %d", got)
+	}
+}
+
+func TestColoredHeapPagesRespectTaskColors(t *testing.T) {
+	h, k := newHeap(t)
+	m := k.Mapping()
+	task := h.Task()
+	// Give the task node-0 colors via the mmap protocol.
+	for _, c := range m.BankColorsOfNode(0)[:2] {
+		if _, err := task.Mmap(uint64(c)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := task.Mmap(0|kernel.SetLLCColor, 0, kernel.ColorAlloc); err != nil {
+		t.Fatal(err)
+	}
+	// Heap pages are colored at fault time: allocate and touch.
+	for i := 0; i < 200; i++ {
+		va, err := h.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := task.Translate(va); err != nil {
+			t.Fatal(err)
+		}
+		f, ok := task.FrameOfVA(va)
+		if !ok {
+			t.Fatal("page not resident after touch")
+		}
+		if n := m.NodeOfFrame(f); n != 0 {
+			t.Fatalf("heap page on node %d, want 0", n)
+		}
+		if lc := m.FrameLLCColor(f); lc != 0 {
+			t.Fatalf("heap page LLC color %d, want 0", lc)
+		}
+	}
+}
+
+// Property: a random malloc/free soak keeps live accounting exact and
+// never double-hands-out a slot.
+func TestRandomSoak(t *testing.T) {
+	h, _ := newHeap(t)
+	rng := rand.New(rand.NewSource(7))
+	live := map[uint64]uint64{} // va -> requested size
+	var wantLive uint64
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			size := uint64(rng.Intn(6000) + 1)
+			va, err := h.Malloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := live[va]; dup {
+				t.Fatalf("duplicate address %#x", va)
+			}
+			live[va] = size
+			got, _ := h.SizeOf(va)
+			wantLive += got
+		} else {
+			for va := range live {
+				got, _ := h.SizeOf(va)
+				wantLive -= got
+				if err := h.Free(va); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, va)
+				break
+			}
+		}
+		if h.Stats().BytesLive != wantLive {
+			t.Fatalf("step %d: BytesLive = %d, want %d", step, h.Stats().BytesLive, wantLive)
+		}
+	}
+	if h.LiveAllocations() != len(live) {
+		t.Errorf("LiveAllocations = %d, want %d", h.LiveAllocations(), len(live))
+	}
+}
+
+func TestTrimReleasesEmptySlabs(t *testing.T) {
+	h, k := newHeap(t)
+	// Fill two slabs of the 512-byte class (8 slots each).
+	var vas []uint64
+	for i := 0; i < 16; i++ {
+		va, err := h.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas = append(vas, va)
+	}
+	if h.Stats().SlabsMapped != 2 {
+		t.Fatalf("SlabsMapped = %d, want 2", h.Stats().SlabsMapped)
+	}
+	// Touch both slabs so frames actually materialize (first touch).
+	for _, va := range []uint64{vas[0], vas[8]} {
+		if _, _, err := h.Task().Translate(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing free yet: Trim is a no-op.
+	if n, err := h.Trim(); err != nil || n != 0 {
+		t.Fatalf("Trim on full heap = %d, %v", n, err)
+	}
+	// Free the first slab's 8 slots; the second stays half-live.
+	for _, va := range vas[:8] {
+		if err := h.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, va := range vas[8:12] {
+		if err := h.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeBefore := k.FreeFrames()
+	n, err := h.Trim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Trim released %d slabs, want 1", n)
+	}
+	if k.FreeFrames() != freeBefore+1 {
+		t.Errorf("kernel frames %d -> %d, want +1", freeBefore, k.FreeFrames())
+	}
+	if h.Stats().SlabsTrimmed != 1 {
+		t.Errorf("SlabsTrimmed = %d", h.Stats().SlabsTrimmed)
+	}
+	// The live half-slab must still work; new allocations reuse its
+	// free slots before mapping a new slab.
+	mapped := h.Stats().SlabsMapped
+	for i := 0; i < 4; i++ {
+		if _, err := h.Malloc(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats().SlabsMapped != mapped {
+		t.Errorf("allocations after Trim mapped a new slab unnecessarily")
+	}
+	// Exhausting the surviving slab maps a fresh one.
+	for i := 0; i < 8; i++ {
+		if _, err := h.Malloc(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats().SlabsMapped != mapped+1 {
+		t.Errorf("SlabsMapped = %d, want %d", h.Stats().SlabsMapped, mapped+1)
+	}
+}
+
+func TestTrimThenReuseSoak(t *testing.T) {
+	h, _ := newHeap(t)
+	rng := rand.New(rand.NewSource(4))
+	live := map[uint64]bool{}
+	for step := 0; step < 3000; step++ {
+		switch {
+		case rng.Intn(50) == 0:
+			if _, err := h.Trim(); err != nil {
+				t.Fatal(err)
+			}
+		case rng.Intn(2) == 0 || len(live) == 0:
+			va, err := h.Malloc(uint64(16 << rng.Intn(5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live[va] {
+				t.Fatalf("step %d: duplicate VA %#x", step, va)
+			}
+			live[va] = true
+		default:
+			for va := range live {
+				if err := h.Free(va); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, va)
+				break
+			}
+		}
+	}
+	if h.LiveAllocations() != len(live) {
+		t.Errorf("LiveAllocations = %d, want %d", h.LiveAllocations(), len(live))
+	}
+}

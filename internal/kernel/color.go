@@ -1,0 +1,84 @@
+package kernel
+
+import "github.com/tintmalloc/tintmalloc/internal/phys"
+
+// colorTable holds the kernel's colored free lists: a matrix of
+// per-(bank color, LLC color) page stacks (the paper's
+// color_list[MEM_ID][cache_ID], 128x32 on the Opteron platform),
+// plus aggregate counts so "any LLC color of bank bc" and "any bank
+// color of LLC lc" queries stay cheap.
+type colorTable struct {
+	nBank, nLLC int
+	lists       [][][]phys.Frame // [bank][llc] LIFO stacks
+	bankCount   []uint64         // frames parked per bank color
+	llcCount    []uint64         // frames parked per LLC color
+	total       uint64
+}
+
+func newColorTable(nBank, nLLC int) *colorTable {
+	ct := &colorTable{
+		nBank:     nBank,
+		nLLC:      nLLC,
+		lists:     make([][][]phys.Frame, nBank),
+		bankCount: make([]uint64, nBank),
+		llcCount:  make([]uint64, nLLC),
+	}
+	for i := range ct.lists {
+		ct.lists[i] = make([][]phys.Frame, nLLC)
+	}
+	return ct
+}
+
+func (ct *colorTable) push(f phys.Frame, bc, lc int) {
+	ct.lists[bc][lc] = append(ct.lists[bc][lc], f)
+	ct.bankCount[bc]++
+	ct.llcCount[lc]++
+	ct.total++
+}
+
+// popExact pops a page of exactly (bc, lc).
+func (ct *colorTable) popExact(bc, lc int) (phys.Frame, bool) {
+	l := ct.lists[bc][lc]
+	if len(l) == 0 {
+		return 0, false
+	}
+	f := l[len(l)-1]
+	ct.lists[bc][lc] = l[:len(l)-1]
+	ct.bankCount[bc]--
+	ct.llcCount[lc]--
+	ct.total--
+	return f, true
+}
+
+// popBankAny pops a page of bank color bc with any LLC color,
+// scanning the LLC columns from startLC so successive requests rotate
+// across colors instead of clustering on column 0.
+func (ct *colorTable) popBankAny(bc, startLC int) (phys.Frame, bool) {
+	if ct.bankCount[bc] == 0 {
+		return 0, false
+	}
+	for i := 0; i < ct.nLLC; i++ {
+		lc := (startLC + i) % ct.nLLC
+		if f, ok := ct.popExact(bc, lc); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// popLLCAny pops a page of LLC color lc with any bank color. The
+// bank columns are scanned in the supplied order (the caller passes
+// bank colors sorted local-node-first, rotated per task) so
+// LLC-only coloring keeps the default policy's node locality and
+// spreads pages across banks.
+func (ct *colorTable) popLLCAny(lc int, bankOrder []int) (phys.Frame, bool) {
+	if ct.llcCount[lc] == 0 {
+		return 0, false
+	}
+	for _, bc := range bankOrder {
+		if len(ct.lists[bc][lc]) > 0 {
+			return ct.popExact(bc, lc)
+		}
+	}
+	return 0, false
+}

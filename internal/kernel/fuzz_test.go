@@ -1,0 +1,64 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// FuzzMmap throws arbitrary (addr, length, prot) triples at the
+// syscall surface: it must never panic, and any color request it
+// accepts must leave the TCB internally consistent.
+func FuzzMmap(f *testing.F) {
+	f.Add(uint64(3)|SetMemColor, uint64(0), ColorAlloc)
+	f.Add(uint64(7)|SetLLCColor, uint64(0), ColorAlloc)
+	f.Add(uint64(999)|SetMemColor, uint64(0), ColorAlloc)
+	f.Add(uint64(0), uint64(4096), uint32(0))
+	f.Add(^uint64(0), uint64(0), ColorAlloc)
+	f.Add(uint64(5)<<56|123, uint64(0), ColorAlloc)
+	f.Fuzz(func(t *testing.T, addr, length uint64, prot uint32) {
+		// Cap lengths so the fuzzer cannot reserve absurd VA spans.
+		length %= 1 << 24
+		top := topology.Opteron6128()
+		m, err := phys.DefaultSeparable(64<<20, top.Nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := New(top, m, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := k.NewProcess().NewTask(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := task.Mmap(addr, length, prot)
+		if err != nil {
+			return // clean rejection
+		}
+		// Invariants after any accepted call.
+		if len(task.BankColors()) > 0 != task.UsingBank() {
+			t.Fatalf("using_bank flag inconsistent with color set")
+		}
+		if len(task.LLCColors()) > 0 != task.UsingLLC() {
+			t.Fatalf("using_llc flag inconsistent with color set")
+		}
+		for _, c := range task.BankColors() {
+			if c < 0 || c >= m.NumBankColors() {
+				t.Fatalf("accepted out-of-range bank color %d", c)
+			}
+		}
+		for _, c := range task.LLCColors() {
+			if c < 0 || c >= m.NumLLCColors() {
+				t.Fatalf("accepted out-of-range LLC color %d", c)
+			}
+		}
+		// Region mappings must be translatable at their base.
+		if length > 0 && va != 0 {
+			if _, _, err := task.Translate(va); err != nil {
+				t.Fatalf("accepted mapping not translatable: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+func TestMigrateRecolorsResidentPages(t *testing.T) {
+	k := boot(t)
+	m := k.Mapping()
+	task := newTask(t, k, 0)
+
+	// Touch pages UNCOLORED first: they land wherever the default
+	// policy puts them.
+	const pages = 32
+	va, err := task.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		if _, _, err := task.Translate(va + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Now select colors and migrate. (Two banks x two LLC colors:
+	// 64 frames of capacity at this memory size.)
+	banks := m.BankColorsOfNode(0)[2:4]
+	setColors(t, task, banks, []int{5, 6})
+	bankSet := map[int]bool{banks[0]: true, banks[1]: true}
+	st, err := task.Migrate(va, pages*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != pages {
+		t.Errorf("Scanned = %d, want %d", st.Scanned, pages)
+	}
+	if st.Moved == 0 || st.Cost == 0 {
+		t.Errorf("nothing moved: %+v", st)
+	}
+	for i := uint64(0); i < pages; i++ {
+		f, ok := task.FrameOfVA(va + i*phys.PageSize)
+		if !ok {
+			t.Fatalf("page %d lost residency", i)
+		}
+		lc := m.FrameLLCColor(f)
+		if !bankSet[m.FrameBankColor(f)] || (lc != 5 && lc != 6) {
+			t.Errorf("page %d colors %d/%d after migrate, want banks %v llc {5,6}",
+				i, m.FrameBankColor(f), lc, banks)
+		}
+	}
+
+	// Second migration is a no-op.
+	st2, err := task.Migrate(va, pages*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Moved != 0 || st2.AlreadyOK != pages {
+		t.Errorf("re-migration moved pages: %+v", st2)
+	}
+}
+
+func TestMigrateRequiresColors(t *testing.T) {
+	k := boot(t)
+	task := newTask(t, k, 0)
+	va, _ := task.Mmap(0, phys.PageSize, 0)
+	if _, err := task.Migrate(va, phys.PageSize); err == nil {
+		t.Error("Migrate without colors succeeded")
+	}
+}
+
+func TestMigrateSkipsNonResident(t *testing.T) {
+	k := boot(t)
+	m := k.Mapping()
+	task := newTask(t, k, 0)
+	setColors(t, task, m.BankColorsOfNode(0)[:1], nil)
+	va, _ := task.Mmap(0, 8*phys.PageSize, 0)
+	st, err := task.Migrate(va, 8*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 0 || st.Moved != 0 {
+		t.Errorf("migrated non-resident pages: %+v", st)
+	}
+}
+
+func TestMigrateConservesFrames(t *testing.T) {
+	k := boot(t)
+	m := k.Mapping()
+	task := newTask(t, k, 0)
+	const pages = 16
+	va, _ := task.Mmap(0, pages*phys.PageSize, 0)
+	for i := uint64(0); i < pages; i++ {
+		if _, _, err := task.Translate(va + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalBefore := k.FreeFrames() + k.TotalColoredFree()
+	setColors(t, task, m.BankColorsOfNode(0)[:2], []int{0, 1})
+	if _, err := task.Migrate(va, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	totalAfter := k.FreeFrames() + k.TotalColoredFree()
+	if totalBefore != totalAfter {
+		t.Errorf("free-frame conservation violated: %d -> %d", totalBefore, totalAfter)
+	}
+	// Unmapping afterwards returns everything.
+	if err := task.Munmap(va, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// ColorAlloc is the mmap protection flag (bit 30, paper Fig. 6) that
+// marks a zero-length mmap call as a color-selection request.
+const ColorAlloc uint32 = 1 << 30
+
+// Color-selection modes, pre-shifted so callers write the paper's
+// idiom directly:
+//
+//	task.Mmap(uint64(color)|kernel.SetLLCColor, 0, prot|kernel.ColorAlloc)
+const (
+	colorModeShift        = 56
+	colorMask      uint64 = (1 << colorModeShift) - 1
+
+	// SetMemColor adds a memory (controller/bank) color to the task.
+	SetMemColor uint64 = 1 << colorModeShift
+	// ClearMemColor removes a memory color from the task.
+	ClearMemColor uint64 = 2 << colorModeShift
+	// SetLLCColor adds an LLC color to the task.
+	SetLLCColor uint64 = 3 << colorModeShift
+	// ClearLLCColor removes an LLC color from the task.
+	ClearLLCColor uint64 = 4 << colorModeShift
+)
+
+// vaBase is the first virtual address handed out by mmap. The
+// virtual address space is independent of physical memory size.
+const vaBase uint64 = 1 << 36
+
+type region struct {
+	start, end uint64 // [start, end), page aligned
+}
+
+// Process is an address space shared by its tasks (threads). Heap
+// pages are faulted in on first touch by whichever task touches them,
+// using that task's coloring policy — the first-touch semantics the
+// paper's benchmark analysis relies on.
+type Process struct {
+	k       *Kernel
+	id      int
+	pt      map[uint64]phys.Frame // vpage -> frame
+	regions []region              // sorted by start; bump allocation keeps order
+	nextVA  uint64
+	tasks   []*Task
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Tasks returns the process's tasks in creation order.
+func (p *Process) Tasks() []*Task { return append([]*Task(nil), p.tasks...) }
+
+// NewTask creates a task (thread) pinned to the given core. Pinning
+// is static for the task's lifetime, matching the paper's assumption
+// that task-to-core assignments do not migrate.
+func (p *Process) NewTask(core topology.CoreID) (*Task, error) {
+	if !p.k.topo.ValidCore(core) {
+		return nil, fmt.Errorf("kernel: invalid core %d", core)
+	}
+	t := &Task{
+		id:        p.k.nextTaskID,
+		proc:      p,
+		core:      core,
+		bankSet:   make([]bool, p.k.mapping.NumBankColors()),
+		llcSet:    make([]bool, p.k.mapping.NumLLCColors()),
+		nodeSet:   make([]bool, p.k.mapping.Nodes()),
+		nodeOrder: p.k.nodeOrderFor(core),
+	}
+	p.k.nextTaskID++
+	p.tasks = append(p.tasks, t)
+	return t, nil
+}
+
+// MappedPages returns the number of resident pages.
+func (p *Process) MappedPages() int { return len(p.pt) }
+
+// regionOf returns the region containing va, if any.
+func (p *Process) regionOf(va uint64) (region, bool) {
+	i := sort.Search(len(p.regions), func(i int) bool {
+		return p.regions[i].end > va
+	})
+	if i < len(p.regions) && p.regions[i].start <= va {
+		return p.regions[i], true
+	}
+	return region{}, false
+}
+
+// Task is the simulated task control block: pinned core, coloring
+// flags and color sets (paper Sec. III-B).
+type Task struct {
+	id          int
+	proc        *Process
+	core        topology.CoreID
+	usingBank   bool
+	usingLLC    bool
+	bankColors  []int // sorted owned memory colors
+	llcColors   []int // sorted owned LLC colors
+	bankSet     []bool
+	llcSet      []bool
+	nodeSet     []bool       // nodes reachable through the owned bank colors
+	nodeOrder   []int        // zones in increasing hop distance from core
+	comboCursor int          // round-robin over owned color combinations
+	faultCount  uint64       // faults served; drives chunked placement luck
+	llcScan     int          // rotating LLC column for bank-only coloring
+	bankScan    int          // rotating bank offset for LLC-only coloring
+	bankOrder   []int        // cached local-first bank color scan order
+	pcp         []phys.Frame // per-task page cache (EnablePCP only)
+}
+
+// bankScanOrder returns every bank color ordered local-node-first (by
+// the task's zone fallback order), rotated by the task's bankScan
+// cursor within each node's group so LLC-only allocations spread over
+// the local banks.
+func (t *Task) bankScanOrder(k *Kernel) []int {
+	if t.bankOrder == nil {
+		for _, n := range t.nodeOrder {
+			t.bankOrder = append(t.bankOrder, k.mapping.BankColorsOfNode(n)...)
+		}
+	}
+	per := k.mapping.BanksPerNode()
+	out := make([]int, 0, len(t.bankOrder))
+	for g := 0; g < len(t.bankOrder); g += per {
+		grp := t.bankOrder[g : g+per]
+		off := t.bankScan % per
+		out = append(out, grp[off:]...)
+		out = append(out, grp[:off]...)
+	}
+	return out
+}
+
+// ID returns the task identifier (unique across the kernel).
+func (t *Task) ID() int { return t.id }
+
+// Core returns the core the task is pinned to.
+func (t *Task) Core() topology.CoreID { return t.core }
+
+// Process returns the owning address space.
+func (t *Task) Process() *Process { return t.proc }
+
+// UsingBank reports whether memory (controller/bank) coloring is active.
+func (t *Task) UsingBank() bool { return t.usingBank }
+
+// UsingLLC reports whether LLC coloring is active.
+func (t *Task) UsingLLC() bool { return t.usingLLC }
+
+// BankColors returns a copy of the owned memory colors.
+func (t *Task) BankColors() []int { return append([]int(nil), t.bankColors...) }
+
+// LLCColors returns a copy of the owned LLC colors.
+func (t *Task) LLCColors() []int { return append([]int(nil), t.llcColors...) }
+
+// Mmap is the simulated system call. Two forms exist, as in the
+// paper:
+//
+//   - Color selection: length == 0 and prot has ColorAlloc set. addr
+//     encodes a mode (SetMemColor and friends) OR'ed with a color.
+//     The call updates the TCB and returns 0.
+//   - Anonymous mapping: length > 0. A page-aligned virtual range is
+//     reserved and its base returned; frames are assigned on first
+//     touch via Translate.
+func (t *Task) Mmap(addr, length uint64, prot uint32) (uint64, error) {
+	if prot&ColorAlloc != 0 && length == 0 {
+		return 0, t.setColor(addr)
+	}
+	if length == 0 {
+		return 0, fmt.Errorf("%w: zero length without ColorAlloc", ErrBadMmap)
+	}
+	pages := (length + phys.PageSize - 1) / phys.PageSize
+	base := t.proc.nextVA
+	t.proc.nextVA += pages * phys.PageSize
+	t.proc.regions = append(t.proc.regions, region{base, base + pages*phys.PageSize})
+	return base, nil
+}
+
+func (t *Task) setColor(arg uint64) error {
+	mode := arg &^ colorMask
+	color := int(arg & colorMask)
+	k := t.proc.k
+	k.stats.ColorMmaps++
+	switch mode {
+	case SetMemColor, ClearMemColor:
+		if color < 0 || color >= k.mapping.NumBankColors() {
+			return fmt.Errorf("%w: memory color %d (have %d)", ErrBadColor, color, k.mapping.NumBankColors())
+		}
+		if mode == SetMemColor {
+			if !t.bankSet[color] {
+				t.bankSet[color] = true
+				t.bankColors = insertSorted(t.bankColors, color)
+			}
+		} else if t.bankSet[color] {
+			t.bankSet[color] = false
+			t.bankColors = removeSorted(t.bankColors, color)
+		}
+		t.usingBank = len(t.bankColors) > 0
+		for i := range t.nodeSet {
+			t.nodeSet[i] = false
+		}
+		for _, bc := range t.bankColors {
+			t.nodeSet[k.mapping.NodeOfBankColor(bc)] = true
+		}
+	case SetLLCColor, ClearLLCColor:
+		if color < 0 || color >= k.mapping.NumLLCColors() {
+			return fmt.Errorf("%w: LLC color %d (have %d)", ErrBadColor, color, k.mapping.NumLLCColors())
+		}
+		if mode == SetLLCColor {
+			if !t.llcSet[color] {
+				t.llcSet[color] = true
+				t.llcColors = insertSorted(t.llcColors, color)
+			}
+		} else if t.llcSet[color] {
+			t.llcSet[color] = false
+			t.llcColors = removeSorted(t.llcColors, color)
+		}
+		t.usingLLC = len(t.llcColors) > 0
+	default:
+		return fmt.Errorf("%w: unknown color mode %#x", ErrBadMmap, mode>>colorModeShift)
+	}
+	t.comboCursor = 0
+	return nil
+}
+
+// Munmap releases the exact region previously returned by Mmap,
+// returning its resident frames to the kernel (colored frames rejoin
+// their color lists, uncolored frames the buddy allocator).
+func (t *Task) Munmap(va, length uint64) error {
+	p := t.proc
+	pages := (length + phys.PageSize - 1) / phys.PageSize
+	end := va + pages*phys.PageSize
+	idx := -1
+	for i, r := range p.regions {
+		if r.start == va && r.end == end {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: munmap of unmapped region [%#x, %#x)", ErrSegfault, va, end)
+	}
+	p.regions = append(p.regions[:idx], p.regions[idx+1:]...)
+	for vp := va >> phys.PageShift; vp < end>>phys.PageShift; vp++ {
+		if f, ok := p.pt[vp]; ok {
+			delete(p.pt, vp)
+			p.k.freeFrame(f)
+		}
+	}
+	return nil
+}
+
+// Translate resolves va to a physical address for an access by this
+// task, faulting in a frame on first touch. The returned cost is the
+// simulated fault overhead (0 when the page was already resident).
+func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
+	p := t.proc
+	if _, ok := p.regionOf(va); !ok {
+		return 0, 0, fmt.Errorf("%w: address %#x", ErrSegfault, va)
+	}
+	vp := va >> phys.PageShift
+	if f, ok := p.pt[vp]; ok {
+		return f.Base() + phys.Addr(phys.Offset(phys.Addr(va))), 0, nil
+	}
+	f, cost, err := p.k.allocPagesFor(t)
+	if err != nil {
+		return 0, cost, err
+	}
+	p.pt[vp] = f
+	return f.Base() + phys.Addr(phys.Offset(phys.Addr(va))), cost, nil
+}
+
+// Resident reports whether the page holding va has a frame.
+func (t *Task) Resident(va uint64) bool {
+	_, ok := t.proc.pt[va>>phys.PageShift]
+	return ok
+}
+
+// FrameOfVA returns the frame backing va, if resident.
+func (t *Task) FrameOfVA(va uint64) (phys.Frame, bool) {
+	f, ok := t.proc.pt[va>>phys.PageShift]
+	return f, ok
+}
+
+// wantsNode reports whether any of the task's bank colors lives on
+// node n (used to skip zones during colored refill).
+func (t *Task) wantsNode(m *phys.Mapping, n int) bool { return t.nodeSet[n] }
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+// Package pci simulates the slice of PCI configuration space that
+// TintMalloc reads during late boot to derive bit-level physical
+// address translation (paper Sec. III-A): the DRAM base/limit system
+// address registers (node ranges), the DRAM controller select
+// register (channel bits), the chip-select base registers (rank and
+// bank bits), and the bank address mapping register (row geometry),
+// plus an LLC configuration register describing the set-index color
+// bits.
+//
+// On real hardware these live in the northbridge's config space
+// (AMD Family 10h, functions 1 and 2 of device 18h). Here, a Space is
+// populated by Bios from a phys.Mapping — exactly the information a
+// platform BIOS programs — and DecodeMapping recovers the mapping by
+// reading registers, reproducing TintMalloc's boot-time discovery
+// path rather than hard-coding platform constants.
+package pci
+
+import (
+	"fmt"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Function selects a config-space function of the simulated
+// northbridge device, mirroring AMD's split of address-map registers
+// (function 1) and DRAM controller registers (function 2).
+type Function uint8
+
+// Northbridge config-space functions.
+const (
+	FuncAddressMap Function = 1 // DRAM base/limit system address registers
+	FuncDRAMCtl    Function = 2 // controller select, CS base, bank address mapping
+)
+
+// Register offsets within a function. Offsets follow the spirit of
+// the AMD BIOS and Kernel Developer's Guide but use a simplified
+// packed encoding documented on each constant.
+const (
+	// RegDRAMBase (function 1, indexed by node): bits [31:4] hold
+	// base >> 24; bit 0 is the enable flag.
+	RegDRAMBase = 0x40
+	// RegDRAMLimit (function 1, indexed by node): bits [31:4] hold
+	// (limit-1) >> 24; bit 0 is the enable flag.
+	RegDRAMLimit = 0x44
+	// RegDCTSelectLow (function 2): byte i holds channel-select
+	// address bit i (0xFF terminates); byte 3 holds the channel
+	// bit count.
+	RegDCTSelectLow = 0x110
+	// RegCSBase (function 2): byte 0 holds the rank-select bit
+	// count, bytes 1..2 hold rank bit positions (0xFF = unused).
+	RegCSBase = 0x60
+	// RegBankAddrMap (function 2): byte 0 holds the bank bit
+	// count, bytes 1..3 hold bank bit positions.
+	RegBankAddrMap = 0x80
+	// RegRowGeometry (function 2): byte 0 holds the row shift
+	// (log2 of per-row address span).
+	RegRowGeometry = 0x84
+	// RegLLCConfig (function 2, node 0 only): byte 0 holds the
+	// number of LLC color bits; bytes 1..4 hold the bit positions
+	// of up to four of them; byte 1 of the companion register
+	// RegLLCConfig2 holds any further positions.
+	RegLLCConfig  = 0x1A0
+	RegLLCConfig2 = 0x1A4
+)
+
+const unusedBit = 0xFF
+
+// regKey addresses one 32-bit register.
+type regKey struct {
+	node int
+	fn   Function
+	off  uint16
+}
+
+// Space is a simulated PCI configuration space. The zero value is an
+// empty space; registers read as zero until written.
+type Space struct {
+	regs map[regKey]uint32
+}
+
+// NewSpace returns an empty configuration space.
+func NewSpace() *Space {
+	return &Space{regs: make(map[regKey]uint32)}
+}
+
+// Read32 returns the register at (node, fn, off), or 0 if unwritten.
+func (s *Space) Read32(node int, fn Function, off uint16) uint32 {
+	return s.regs[regKey{node, fn, off}]
+}
+
+// Write32 stores v at (node, fn, off).
+func (s *Space) Write32(node int, fn Function, off uint16, v uint32) {
+	s.regs[regKey{node, fn, off}] = v
+}
+
+// packBits stores up to n bit positions into a register: byte 0 is
+// the count, bytes 1..3 are positions (unusedBit when absent).
+func packBits(bits []uint) (uint32, error) {
+	if len(bits) > 3 {
+		return 0, fmt.Errorf("pci: cannot pack %d bit positions into one register", len(bits))
+	}
+	v := uint32(len(bits))
+	for i := 0; i < 3; i++ {
+		b := uint32(unusedBit)
+		if i < len(bits) {
+			b = uint32(bits[i])
+		}
+		v |= b << (8 * (i + 1))
+	}
+	return v, nil
+}
+
+func unpackBits(v uint32) []uint {
+	n := int(v & 0xFF)
+	out := make([]uint, 0, n)
+	for i := 0; i < n && i < 3; i++ {
+		b := (v >> (8 * (i + 1))) & 0xFF
+		if b != unusedBit {
+			out = append(out, uint(b))
+		}
+	}
+	return out
+}
+
+// Bios populates a configuration space from a mapping, playing the
+// role of platform firmware programming the northbridge at power-on.
+func Bios(m *phys.Mapping) (*Space, error) {
+	s := NewSpace()
+	for n := 0; n < m.Nodes(); n++ {
+		base, limit := m.NodeRange(n)
+		if uint64(base)&((1<<24)-1) != 0 {
+			return nil, fmt.Errorf("pci: node %d base %#x not 16MiB aligned", n, base)
+		}
+		if uint64(limit)&((1<<24)-1) != 0 {
+			return nil, fmt.Errorf("pci: node %d limit %#x not 16MiB aligned", n, limit)
+		}
+		s.Write32(n, FuncAddressMap, RegDRAMBase, uint32(uint64(base)>>24)<<4|1)
+		s.Write32(n, FuncAddressMap, RegDRAMLimit, uint32((uint64(limit)-1)>>24)<<4|1)
+
+		chv, err := packBits(m.ChannelBits())
+		if err != nil {
+			return nil, err
+		}
+		s.Write32(n, FuncDRAMCtl, RegDCTSelectLow, chv)
+		rkv, err := packBits(m.RankBits())
+		if err != nil {
+			return nil, err
+		}
+		s.Write32(n, FuncDRAMCtl, RegCSBase, rkv)
+		bkv, err := packBits(m.BankBits())
+		if err != nil {
+			return nil, err
+		}
+		s.Write32(n, FuncDRAMCtl, RegBankAddrMap, bkv)
+		s.Write32(n, FuncDRAMCtl, RegRowGeometry, uint32(m.RowShift()))
+	}
+	llc := m.LLCBits()
+	if len(llc) > 7 {
+		return nil, fmt.Errorf("pci: cannot encode %d LLC color bits", len(llc))
+	}
+	var lo, hi uint32
+	lo = uint32(len(llc))
+	for i, b := range llc {
+		if i < 3 {
+			lo |= uint32(b) << (8 * (i + 1))
+		} else {
+			hi |= uint32(b) << (8 * (i - 3))
+		}
+	}
+	s.Write32(0, FuncDRAMCtl, RegLLCConfig, lo)
+	s.Write32(0, FuncDRAMCtl, RegLLCConfig2, hi)
+	return s, nil
+}
+
+// NodeRange reads the DRAM base/limit registers of node n. ok is
+// false when the node's range is not enabled.
+func (s *Space) NodeRange(n int) (base, limit phys.Addr, ok bool) {
+	b := s.Read32(n, FuncAddressMap, RegDRAMBase)
+	l := s.Read32(n, FuncAddressMap, RegDRAMLimit)
+	if b&1 == 0 || l&1 == 0 {
+		return 0, 0, false
+	}
+	base = phys.Addr(uint64(b>>4) << 24)
+	limit = phys.Addr((uint64(l>>4) + 1) << 24)
+	return base, limit, true
+}
+
+// DecodeMapping reconstructs a phys.Mapping by reading registers, the
+// simulated analogue of TintMalloc's late-boot PCI scan. nodes is the
+// expected controller count (discovered from the topology).
+func DecodeMapping(s *Space, nodes int) (*phys.Mapping, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("pci: nodes must be >= 1, got %d", nodes)
+	}
+	var memBytes uint64
+	var prevLimit phys.Addr
+	for n := 0; n < nodes; n++ {
+		base, limit, ok := s.NodeRange(n)
+		if !ok {
+			return nil, fmt.Errorf("pci: node %d DRAM range not enabled", n)
+		}
+		if base != prevLimit {
+			return nil, fmt.Errorf("pci: node %d base %#x not contiguous with previous limit %#x",
+				n, base, prevLimit)
+		}
+		if limit <= base {
+			return nil, fmt.Errorf("pci: node %d has empty range [%#x, %#x)", n, base, limit)
+		}
+		memBytes += uint64(limit - base)
+		prevLimit = limit
+	}
+	ch := unpackBits(s.Read32(0, FuncDRAMCtl, RegDCTSelectLow))
+	rk := unpackBits(s.Read32(0, FuncDRAMCtl, RegCSBase))
+	bk := unpackBits(s.Read32(0, FuncDRAMCtl, RegBankAddrMap))
+	rowShift := uint(s.Read32(0, FuncDRAMCtl, RegRowGeometry) & 0xFF)
+
+	lo := s.Read32(0, FuncDRAMCtl, RegLLCConfig)
+	hi := s.Read32(0, FuncDRAMCtl, RegLLCConfig2)
+	nLLC := int(lo & 0xFF)
+	llc := make([]uint, 0, nLLC)
+	for i := 0; i < nLLC; i++ {
+		var b uint32
+		if i < 3 {
+			b = (lo >> (8 * (i + 1))) & 0xFF
+		} else {
+			b = (hi >> (8 * (i - 3))) & 0xFF
+		}
+		llc = append(llc, uint(b))
+	}
+	return phys.NewMapping(phys.MappingConfig{
+		MemBytes:    memBytes,
+		Nodes:       nodes,
+		ChannelBits: ch,
+		RankBits:    rk,
+		BankBits:    bk,
+		LLCBits:     llc,
+		RowShift:    rowShift,
+	})
+}

@@ -1,0 +1,153 @@
+package pci
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+const testMem = 256 << 20
+
+func TestBiosDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(uint64, int) (*phys.Mapping, error)
+	}{
+		{"separable", phys.DefaultSeparable},
+		{"overlapped", phys.OpteronOverlapped},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := tc.build(testMem, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := Bios(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeMapping(sp, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MemBytes() != m.MemBytes() {
+				t.Errorf("MemBytes = %d, want %d", got.MemBytes(), m.MemBytes())
+			}
+			if !reflect.DeepEqual(got.ChannelBits(), m.ChannelBits()) {
+				t.Errorf("ChannelBits = %v, want %v", got.ChannelBits(), m.ChannelBits())
+			}
+			if !reflect.DeepEqual(got.RankBits(), m.RankBits()) {
+				t.Errorf("RankBits = %v, want %v", got.RankBits(), m.RankBits())
+			}
+			if !reflect.DeepEqual(got.BankBits(), m.BankBits()) {
+				t.Errorf("BankBits = %v, want %v", got.BankBits(), m.BankBits())
+			}
+			if !reflect.DeepEqual(got.LLCBits(), m.LLCBits()) {
+				t.Errorf("LLCBits = %v, want %v", got.LLCBits(), m.LLCBits())
+			}
+			if got.RowShift() != m.RowShift() {
+				t.Errorf("RowShift = %d, want %d", got.RowShift(), m.RowShift())
+			}
+			// The decoded mapping must translate identically.
+			for _, a := range []phys.Addr{0, 0x1234567, testMem - 128, testMem / 2} {
+				if got.BankColor(a) != m.BankColor(a) {
+					t.Errorf("BankColor(%#x) = %d, want %d", a, got.BankColor(a), m.BankColor(a))
+				}
+				if got.LLCColor(a) != m.LLCColor(a) {
+					t.Errorf("LLCColor(%#x) = %d, want %d", a, got.LLCColor(a), m.LLCColor(a))
+				}
+			}
+		})
+	}
+}
+
+func TestNodeRangeRegisters(t *testing.T) {
+	m, err := phys.DefaultSeparable(testMem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Bios(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		base, limit, ok := sp.NodeRange(n)
+		if !ok {
+			t.Fatalf("node %d range not enabled", n)
+		}
+		wb, wl := m.NodeRange(n)
+		if base != wb || limit != wl {
+			t.Errorf("node %d range = [%#x,%#x), want [%#x,%#x)", n, base, limit, wb, wl)
+		}
+	}
+	if _, _, ok := sp.NodeRange(7); ok {
+		t.Error("NodeRange(7) enabled on 4-node space")
+	}
+}
+
+func TestDecodeMappingErrors(t *testing.T) {
+	m, err := phys.DefaultSeparable(testMem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Bios(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMapping(sp, 0); err == nil {
+		t.Error("DecodeMapping with 0 nodes succeeded")
+	}
+	// Asking for more nodes than the BIOS programmed must fail.
+	if _, err := DecodeMapping(sp, 8); err == nil {
+		t.Error("DecodeMapping with 8 nodes succeeded on 4-node space")
+	}
+	// A gap in the address map must be detected.
+	sp2, _ := Bios(m)
+	sp2.Write32(1, FuncAddressMap, RegDRAMBase, sp2.Read32(2, FuncAddressMap, RegDRAMBase))
+	if _, err := DecodeMapping(sp2, 4); err == nil {
+		t.Error("DecodeMapping accepted non-contiguous node ranges")
+	}
+	// Empty space: nothing enabled.
+	if _, err := DecodeMapping(NewSpace(), 4); err == nil {
+		t.Error("DecodeMapping succeeded on empty space")
+	}
+}
+
+func TestRawReadWrite(t *testing.T) {
+	sp := NewSpace()
+	if got := sp.Read32(0, FuncDRAMCtl, 0x99); got != 0 {
+		t.Errorf("unwritten register reads %#x, want 0", got)
+	}
+	sp.Write32(3, FuncAddressMap, 0x40, 0xDEADBEEF)
+	if got := sp.Read32(3, FuncAddressMap, 0x40); got != 0xDEADBEEF {
+		t.Errorf("Read32 = %#x, want 0xDEADBEEF", got)
+	}
+	// Different function, same offset: independent registers.
+	if got := sp.Read32(3, FuncDRAMCtl, 0x40); got != 0 {
+		t.Errorf("cross-function register aliasing: %#x", got)
+	}
+}
+
+func TestPackBitsTooMany(t *testing.T) {
+	if _, err := packBits([]uint{1, 2, 3, 4}); err == nil {
+		t.Error("packBits accepted 4 positions")
+	}
+	v, err := packBits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unpackBits(v); len(got) != 0 {
+		t.Errorf("unpackBits(packBits(nil)) = %v, want empty", got)
+	}
+}
+
+func TestBiosAlignmentErrors(t *testing.T) {
+	// 4 MiB per node: below the 16 MiB base/limit register granularity.
+	m, err := phys.DefaultSeparable(16<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bios(m); err == nil {
+		t.Error("Bios accepted sub-16MiB node alignment")
+	}
+}

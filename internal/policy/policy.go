@@ -1,0 +1,286 @@
+// Package policy computes per-thread color assignments for the
+// coloring schemes evaluated in the paper (Sec. V-B):
+//
+//	Buddy       – no coloring (Linux default allocation)
+//	LLCOnly     – private LLC colors, uncolored memory banks
+//	MEMOnly     – private local bank colors, uncolored LLC
+//	MEMLLC      – private local banks AND private LLC colors
+//	MEMLLCPart  – private local banks; LLC colors shared per group
+//	LLCMEMPart  – private LLC colors; local banks shared per group
+//	BPM         – prior work: banks+LLC partitioned with NO
+//	              controller awareness, so each thread's banks
+//	              stride across all nodes and most accesses are
+//	              remote (Liu et al. [10])
+//
+// "Private" always means disjoint from every other thread. Groups
+// are the sets of threads sharing a memory node. All TintMalloc
+// variants pick bank colors from the thread's local node — the
+// controller awareness that distinguishes them from BPM.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// Policy selects a coloring scheme.
+type Policy int
+
+// The coloring schemes compared in the paper.
+const (
+	Buddy Policy = iota
+	LLCOnly
+	MEMOnly
+	MEMLLC
+	MEMLLCPart
+	LLCMEMPart
+	BPM
+)
+
+// All returns every policy in presentation order.
+func All() []Policy {
+	return []Policy{Buddy, BPM, LLCOnly, MEMOnly, MEMLLC, MEMLLCPart, LLCMEMPart}
+}
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case Buddy:
+		return "buddy"
+	case LLCOnly:
+		return "LLC"
+	case MEMOnly:
+		return "MEM"
+	case MEMLLC:
+		return "MEM+LLC"
+	case MEMLLCPart:
+		return "MEM+LLC(part)"
+	case LLCMEMPart:
+		return "LLC+MEM(part)"
+	case BPM:
+		return "BPM"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Colored reports whether the policy issues any color mmaps.
+func (p Policy) Colored() bool { return p != Buddy }
+
+// ParsePolicy maps a paper name back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range All() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", s)
+}
+
+// Assignment is the color set one thread should own.
+type Assignment struct {
+	BankColors []int
+	LLCColors  []int
+}
+
+// Plan computes one assignment per thread for threads pinned to the
+// given cores. Threads sharing a memory node form a group; private
+// resources are divided within the group (banks) or across all
+// threads (LLC), shared resources are granted group-wide.
+func Plan(p Policy, m *phys.Mapping, topo *topology.Topology, cores []topology.CoreID) ([]Assignment, error) {
+	n := len(cores)
+	if n == 0 {
+		return nil, fmt.Errorf("policy: no cores given")
+	}
+	for _, c := range cores {
+		if !topo.ValidCore(c) {
+			return nil, fmt.Errorf("policy: invalid core %d", c)
+		}
+	}
+	out := make([]Assignment, n)
+	if p == Buddy {
+		return out, nil
+	}
+
+	// Group threads by their local node, preserving thread order.
+	groupOf := make([]int, n)        // thread -> group index
+	rankInGroup := make([]int, n)    // thread -> position within group
+	var groupNodes []topology.NodeID // group -> node
+	groupSize := map[topology.NodeID]int{}
+	groupIdx := map[topology.NodeID]int{}
+	for i, c := range cores {
+		node := topo.NodeOfCore(c)
+		gi, ok := groupIdx[node]
+		if !ok {
+			gi = len(groupNodes)
+			groupIdx[node] = gi
+			groupNodes = append(groupNodes, node)
+		}
+		groupOf[i] = gi
+		rankInGroup[i] = groupSize[node]
+		groupSize[node]++
+	}
+	nGroups := len(groupNodes)
+
+	needPrivateLLC := p == LLCOnly || p == MEMLLC || p == LLCMEMPart || p == BPM
+	needPrivateMEM := p == MEMOnly || p == MEMLLC || p == MEMLLCPart
+	if needPrivateLLC && n > m.NumLLCColors() {
+		return nil, fmt.Errorf("policy: %d threads exceed %d LLC colors", n, m.NumLLCColors())
+	}
+
+	// Private LLC colors: divide the color space evenly over all
+	// threads; thread i owns chunk i.
+	if needPrivateLLC {
+		per := m.NumLLCColors() / n
+		if per == 0 {
+			per = 1
+		}
+		for i := range out {
+			for c := i * per; c < (i+1)*per && c < m.NumLLCColors(); c++ {
+				out[i].LLCColors = append(out[i].LLCColors, c)
+			}
+		}
+	}
+
+	// Group-shared LLC colors (MEM+LLC(part)): chunk per group, all
+	// threads of the group own the whole chunk.
+	if p == MEMLLCPart {
+		per := m.NumLLCColors() / nGroups
+		if per == 0 {
+			per = 1
+		}
+		for i := range out {
+			g := groupOf[i]
+			for c := g * per; c < (g+1)*per && c < m.NumLLCColors(); c++ {
+				out[i].LLCColors = append(out[i].LLCColors, c)
+			}
+		}
+	}
+
+	// Private local bank colors: the node's colors divided among
+	// the threads of that node. Under an overlapped mapping the
+	// hardware pins bank bits through the thread's LLC colors, so
+	// the bank set is *derived* from compatibility instead of
+	// partitioned freely (disjoint LLC colors then imply disjoint
+	// banks automatically).
+	if needPrivateMEM {
+		for i := range out {
+			node := groupNodes[groupOf[i]]
+			local := m.BankColorsOfNode(int(node))
+			if !m.SeparableColors() && len(out[i].LLCColors) > 0 {
+				out[i].BankColors = compatibleOf(m, local, out[i].LLCColors)
+				if len(out[i].BankColors) == 0 {
+					return nil, fmt.Errorf("policy: thread %d: no local bank compatible with its LLC colors", i)
+				}
+				continue
+			}
+			g := groupSize[node]
+			if g > len(local) {
+				return nil, fmt.Errorf("policy: %d threads on node %d exceed %d local bank colors",
+					g, node, len(local))
+			}
+			per := len(local) / g
+			r := rankInGroup[i]
+			out[i].BankColors = append(out[i].BankColors, local[r*per:(r+1)*per]...)
+		}
+	}
+
+	// Group-shared local banks (LLC+MEM(part)): every thread of the
+	// group owns all of its node's bank colors.
+	if p == LLCMEMPart {
+		for i := range out {
+			node := groupNodes[groupOf[i]]
+			out[i].BankColors = append(out[i].BankColors, m.BankColorsOfNode(int(node))...)
+		}
+	}
+
+	// BPM: controller-oblivious bank partitioning. Thread i takes
+	// every n-th color starting at i, so its banks stride across
+	// all nodes and locality is lost — the defect the paper
+	// attributes to prior work.
+	if p == BPM {
+		if n > m.NumBankColors() {
+			return nil, fmt.Errorf("policy: %d threads exceed %d bank colors", n, m.NumBankColors())
+		}
+		all := make([]int, m.NumBankColors())
+		for c := range all {
+			all[c] = c
+		}
+		for i := range out {
+			if !m.SeparableColors() {
+				// Hardware-pinned banks: the compatible colors of
+				// the thread's LLC set, which span all nodes —
+				// still controller-oblivious.
+				out[i].BankColors = compatibleOf(m, all, out[i].LLCColors)
+				continue
+			}
+			for c := i; c < m.NumBankColors(); c += n {
+				out[i].BankColors = append(out[i].BankColors, c)
+			}
+		}
+	}
+	// Overlapped-mapping reconciliation: when bank bits share
+	// physical address bits with the LLC color bits (the real
+	// Opteron layout), a thread holding both bank and LLC colors
+	// can only be served from compatible combinations. Drop bank
+	// colors that are incompatible with every owned LLC color —
+	// exactly the constraint the hardware imposes.
+	for i := range out {
+		if len(out[i].BankColors) == 0 || len(out[i].LLCColors) == 0 {
+			continue
+		}
+		kept := out[i].BankColors[:0]
+		for _, bc := range out[i].BankColors {
+			ok := false
+			for _, lc := range out[i].LLCColors {
+				if m.ComboCompatible(bc, lc) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, bc)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("policy: thread %d: no bank color compatible with its LLC colors under this mapping", i)
+		}
+		out[i].BankColors = kept
+	}
+
+	return out, nil
+}
+
+// compatibleOf returns the bank colors from candidates that are
+// compatible with at least one of the LLC colors.
+func compatibleOf(m *phys.Mapping, candidates, llcColors []int) []int {
+	var out []int
+	for _, bc := range candidates {
+		for _, lc := range llcColors {
+			if m.ComboCompatible(bc, lc) {
+				out = append(out, bc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Apply issues the paper's one-line-per-color mmap calls to install
+// an assignment into a task's TCB.
+func Apply(task *kernel.Task, a Assignment) error {
+	for _, c := range a.BankColors {
+		if _, err := task.Mmap(uint64(c)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+			return err
+		}
+	}
+	for _, c := range a.LLCColors {
+		if _, err := task.Mmap(uint64(c)|kernel.SetLLCColor, 0, kernel.ColorAlloc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+const testMem = 256 << 20
+
+func setup(t *testing.T) (*phys.Mapping, *topology.Topology) {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, top
+}
+
+// paper configuration: 16 threads over 4 nodes.
+func cores16(t *testing.T, top *topology.Topology) []topology.CoreID {
+	t.Helper()
+	out := make([]topology.CoreID, 16)
+	for i := range out {
+		out[i] = topology.CoreID(i)
+	}
+	return out
+}
+
+func disjoint(t *testing.T, name string, sets [][]int) {
+	t.Helper()
+	seen := map[int]int{}
+	for i, s := range sets {
+		for _, c := range s {
+			if j, dup := seen[c]; dup {
+				t.Errorf("%s: color %d owned by threads %d and %d", name, c, j, i)
+			}
+			seen[c] = i
+		}
+	}
+}
+
+func TestBuddyPlanIsEmpty(t *testing.T) {
+	m, top := setup(t)
+	asn, err := Plan(Buddy, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range asn {
+		if len(a.BankColors) != 0 || len(a.LLCColors) != 0 {
+			t.Errorf("thread %d has colors under buddy: %+v", i, a)
+		}
+	}
+}
+
+func TestMEMLLCPlan16Threads(t *testing.T) {
+	m, top := setup(t)
+	asn, err := Plan(MEMLLC, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := make([][]int, len(asn))
+	llcs := make([][]int, len(asn))
+	for i, a := range asn {
+		banks[i], llcs[i] = a.BankColors, a.LLCColors
+		// Paper: with 16 threads each thread has 2 private LLC colors
+		// and 8 private local bank colors.
+		if len(a.LLCColors) != 2 {
+			t.Errorf("thread %d: %d LLC colors, want 2", i, len(a.LLCColors))
+		}
+		if len(a.BankColors) != 8 {
+			t.Errorf("thread %d: %d bank colors, want 8", i, len(a.BankColors))
+		}
+		// Locality: every bank color on the thread's local node.
+		localNode := int(top.NodeOfCore(topology.CoreID(i)))
+		for _, bc := range a.BankColors {
+			if m.NodeOfBankColor(bc) != localNode {
+				t.Errorf("thread %d (node %d) owns remote bank color %d (node %d)",
+					i, localNode, bc, m.NodeOfBankColor(bc))
+			}
+		}
+	}
+	disjoint(t, "MEMLLC banks", banks)
+	disjoint(t, "MEMLLC llc", llcs)
+}
+
+func TestMEMLLCPlan8Threads4Nodes(t *testing.T) {
+	m, top := setup(t)
+	// Paper 8_threads_4_nodes: cores 0,1,4,5,8,9,12,13.
+	cores := []topology.CoreID{0, 1, 4, 5, 8, 9, 12, 13}
+	asn, err := Plan(MEMLLC, m, top, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range asn {
+		// Paper: for 8 threads, each thread has 4 private LLC colors.
+		if len(a.LLCColors) != 4 {
+			t.Errorf("thread %d: %d LLC colors, want 4", i, len(a.LLCColors))
+		}
+		if len(a.BankColors) != 16 { // 32 local colors / 2 threads per node
+			t.Errorf("thread %d: %d bank colors, want 16", i, len(a.BankColors))
+		}
+	}
+}
+
+func TestMEMLLCPartSharesLLCWithinGroup(t *testing.T) {
+	m, top := setup(t)
+	asn, err := Plan(MEMLLCPart, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 4 groups, each with private 8 LLC colors shared by the
+	// group's 4 threads.
+	for g := 0; g < 4; g++ {
+		base := asn[g*4].LLCColors
+		if len(base) != 8 {
+			t.Errorf("group %d has %d LLC colors, want 8", g, len(base))
+		}
+		for i := 1; i < 4; i++ {
+			got := asn[g*4+i].LLCColors
+			if len(got) != len(base) {
+				t.Fatalf("group %d thread %d LLC colors differ", g, i)
+			}
+			for j := range got {
+				if got[j] != base[j] {
+					t.Errorf("group %d: thread %d LLC colors not shared", g, i)
+				}
+			}
+		}
+	}
+	// Banks remain private.
+	banks := make([][]int, len(asn))
+	for i, a := range asn {
+		banks[i] = a.BankColors
+	}
+	disjoint(t, "MEMLLCPart banks", banks)
+	// Cross-group LLC colors are disjoint.
+	groups := [][]int{asn[0].LLCColors, asn[4].LLCColors, asn[8].LLCColors, asn[12].LLCColors}
+	disjoint(t, "MEMLLCPart group llc", groups)
+}
+
+func TestLLCMEMPartSharesBanksWithinGroup(t *testing.T) {
+	m, top := setup(t)
+	asn, err := Plan(LLCMEMPart, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llcs := make([][]int, len(asn))
+	for i, a := range asn {
+		llcs[i] = a.LLCColors
+		if len(a.BankColors) != m.BanksPerNode() {
+			t.Errorf("thread %d owns %d bank colors, want all %d local ones",
+				i, len(a.BankColors), m.BanksPerNode())
+		}
+		localNode := int(top.NodeOfCore(topology.CoreID(i)))
+		for _, bc := range a.BankColors {
+			if m.NodeOfBankColor(bc) != localNode {
+				t.Errorf("thread %d owns remote bank color %d", i, bc)
+			}
+		}
+	}
+	disjoint(t, "LLCMEMPart llc", llcs)
+}
+
+func TestBPMIsControllerOblivious(t *testing.T) {
+	m, top := setup(t)
+	asn, err := Plan(BPM, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := make([][]int, len(asn))
+	for i, a := range asn {
+		banks[i] = a.BankColors
+		// Each thread's banks must span multiple nodes (the defect
+		// the paper attributes to BPM).
+		nodes := map[int]bool{}
+		for _, bc := range a.BankColors {
+			nodes[m.NodeOfBankColor(bc)] = true
+		}
+		if len(nodes) < 2 {
+			t.Errorf("thread %d: BPM banks on single node %v", i, nodes)
+		}
+	}
+	disjoint(t, "BPM banks", banks)
+	llcs := make([][]int, len(asn))
+	for i, a := range asn {
+		llcs[i] = a.LLCColors
+	}
+	disjoint(t, "BPM llc", llcs)
+}
+
+func TestLLCOnlyAndMEMOnly(t *testing.T) {
+	m, top := setup(t)
+	asnL, err := Plan(LLCOnly, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range asnL {
+		if len(a.BankColors) != 0 {
+			t.Errorf("LLCOnly thread %d has bank colors", i)
+		}
+		if len(a.LLCColors) != 2 {
+			t.Errorf("LLCOnly thread %d has %d LLC colors, want 2", i, len(a.LLCColors))
+		}
+	}
+	asnM, err := Plan(MEMOnly, m, top, cores16(t, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range asnM {
+		if len(a.LLCColors) != 0 {
+			t.Errorf("MEMOnly thread %d has LLC colors", i)
+		}
+		if len(a.BankColors) != 8 {
+			t.Errorf("MEMOnly thread %d has %d bank colors, want 8", i, len(a.BankColors))
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	m, top := setup(t)
+	if _, err := Plan(MEMLLC, m, top, nil); err == nil {
+		t.Error("Plan with no cores succeeded")
+	}
+	if _, err := Plan(MEMLLC, m, top, []topology.CoreID{99}); err == nil {
+		t.Error("Plan with invalid core succeeded")
+	}
+	// More threads than LLC colors (33 > 32) on a private-LLC policy.
+	many := make([]topology.CoreID, 33)
+	for i := range many {
+		many[i] = topology.CoreID(i % 16)
+	}
+	if _, err := Plan(MEMLLC, m, top, many); err == nil {
+		t.Error("Plan with 33 threads succeeded for private LLC")
+	}
+	// More threads on a node than local bank colors.
+	crowd := make([]topology.CoreID, 33)
+	for i := range crowd {
+		crowd[i] = 0 // all on core 0 -> 33 threads on node 0 > 32 colors
+	}
+	if _, err := Plan(MEMOnly, m, top, crowd); err == nil {
+		t.Error("Plan with oversubscribed node succeeded for private MEM")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy accepted junk")
+	}
+	if Buddy.Colored() || !MEMLLC.Colored() {
+		t.Error("Colored() wrong")
+	}
+}
+
+func TestPlanUnderOverlappedMapping(t *testing.T) {
+	top := topology.Opteron6128()
+	m, err := phys.OpteronOverlapped(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{MEMLLC, MEMLLCPart, LLCMEMPart, BPM} {
+		t.Run(p.String(), func(t *testing.T) {
+			asn, err := Plan(p, m, top, cores16(t, top))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range asn {
+				if len(a.BankColors) == 0 {
+					t.Fatalf("thread %d has no bank colors", i)
+				}
+				// Every bank color must be compatible with at least
+				// one of the thread's LLC colors — otherwise the
+				// kernel could never serve the combination.
+				for _, bc := range a.BankColors {
+					ok := false
+					for _, lc := range a.LLCColors {
+						if m.ComboCompatible(bc, lc) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Errorf("thread %d: bank %d incompatible with LLC set %v", i, bc, a.LLCColors)
+					}
+				}
+				// Node locality still holds for the TintMalloc variants.
+				if p != BPM {
+					local := int(top.NodeOfCore(topology.CoreID(i)))
+					for _, bc := range a.BankColors {
+						if m.NodeOfBankColor(bc) != local {
+							t.Errorf("thread %d owns remote bank %d under %s", i, bc, p)
+						}
+					}
+				}
+			}
+			// Private-bank policies keep disjointness (banks derive
+			// from disjoint LLC chunks under the overlapped mapping).
+			if p == MEMLLC {
+				banks := make([][]int, len(asn))
+				for i, a := range asn {
+					banks[i] = a.BankColors
+				}
+				disjoint(t, "overlapped MEMLLC banks", banks)
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Package stats provides the small numeric summaries the benchmark
+// harness reports: mean/min/max/standard deviation over repeated
+// runs, and normalization against a baseline (the paper normalizes
+// every figure to the standard buddy allocator).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Normalize returns s scaled by 1/base (for "normalized to buddy"
+// plots). A zero base returns a zero Summary.
+func (s Summary) Normalize(base float64) Summary {
+	if base == 0 {
+		return Summary{N: s.N}
+	}
+	return Summary{
+		N:      s.N,
+		Mean:   s.Mean / base,
+		Min:    s.Min / base,
+		Max:    s.Max / base,
+		StdDev: s.StdDev / base,
+	}
+}
+
+// Spread returns Max - Min (the paper's error bars).
+func (s Summary) Spread() float64 { return s.Max - s.Min }
+
+// String formats the summary as mean [min, max].
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", s.Mean, s.Min, s.Max)
+}
+
+// FromDurations converts integer cycle counts to float samples.
+func FromDurations[T ~uint64](ds []T) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d)
+	}
+	return out
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PercentChange returns the relative change from base to x in
+// percent: negative means x is smaller (an improvement for runtimes).
+func PercentChange(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (x - base) / base * 100
+}

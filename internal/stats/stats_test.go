@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample stddev of that classic set is ~2.138.
+	if math.Abs(s.StdDev-2.1380899) > 1e-6 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.Spread() != 7 {
+		t.Errorf("Spread = %v", s.Spread())
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.StdDev != 0 {
+		t.Errorf("singleton Summary = %+v", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30})
+	n := s.Normalize(20)
+	if !almost(n.Mean, 1) || !almost(n.Min, 0.5) || !almost(n.Max, 1.5) {
+		t.Errorf("Normalize = %+v", n)
+	}
+	if z := s.Normalize(0); z.Mean != 0 {
+		t.Errorf("Normalize(0) = %+v", z)
+	}
+}
+
+func TestFromDurations(t *testing.T) {
+	type d uint64
+	got := FromDurations([]d{1, 2, 3})
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("FromDurations = %v", got)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(10, 4) != 2.5 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+	if !almost(PercentChange(200, 140), -30) {
+		t.Errorf("PercentChange = %v", PercentChange(200, 140))
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Error("PercentChange with zero base")
+	}
+}
+
+// Property: Min <= Mean <= Max for any sample.
+func TestSummaryOrdering(t *testing.T) {
+	f := func(raw []int32) bool {
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the trace parser never panics and either returns
+// events or a clean error on arbitrary input.
+func FuzzRead(f *testing.F) {
+	f.Add("thread,phase,va,pa,write,start,done,level,fault\n0,p,0x1000,0x2000,true,10,55,3,0\n")
+	f.Add("thread,phase,va,pa,write,start,done,level,fault\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("thread,phase,va,pa,write,start,done,level,fault\n0,p,zzz,0x2000,true,10,55,3,0\n")
+	f.Add("thread,phase,va,pa,write,start,done,level,fault\n0,p,0x1,0x2,maybe,10,55,99,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection
+		}
+		// Parsed events must survive a write/read round trip.
+		var sb strings.Builder
+		w, werr := NewWriter(&sb)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		for _, e := range events {
+			w.Write(e)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if events[i] != again[i] {
+				t.Fatalf("event %d changed in round trip:\n%+v\n%+v", i, events[i], again[i])
+			}
+		}
+	})
+}

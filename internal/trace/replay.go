@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/engine"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Replay turns a captured trace back into engine phases so the same
+// access stream can be re-executed — typically under a different
+// coloring policy than the one it was recorded with (profile, then
+// recolor). Reconstruction rules:
+//
+//   - Virtual addresses are rebased: the recording's VA span is
+//     re-reserved with one Mmap per span on the replaying master
+//     thread, preserving page adjacency and cross-thread sharing.
+//     First touch during replay follows the replay's policies, so
+//     physical placement is recomputed, not copied.
+//   - Per-thread program order and relative compute gaps are
+//     preserved: the think time between an access's issue and the
+//     previous access's completion replays as Compute cycles.
+//   - Phase boundaries recorded in the trace become engine phases
+//     with the same names (and therefore the same barriers).
+type Replay struct {
+	phases []replayPhase
+	loVA   uint64
+	hiVA   uint64 // exclusive
+}
+
+type replayOp struct {
+	va      uint64
+	write   bool
+	compute clock.Dur
+}
+
+type replayPhase struct {
+	name    string
+	perThrd map[int][]replayOp
+}
+
+// NewReplay analyzes a trace. Events must be in the engine's
+// emission order (virtual-time order), as produced by Writer.
+func NewReplay(events []Event) (*Replay, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	r := &Replay{loVA: ^uint64(0)}
+	lastDone := map[int]clock.Time{}
+	var cur *replayPhase
+	for _, e := range events {
+		if cur == nil || cur.name != e.Phase {
+			r.phases = append(r.phases, replayPhase{name: e.Phase, perThrd: map[int][]replayOp{}})
+			cur = &r.phases[len(r.phases)-1]
+			// Threads restart their gap accounting at phase entry.
+			lastDone = map[int]clock.Time{}
+		}
+		var compute clock.Dur
+		if prev, ok := lastDone[e.Thread]; ok && e.Start > prev {
+			compute = clock.Dur(e.Start - prev)
+		}
+		// Exclude fault overhead from the replayed think time; the
+		// replay's own faults will be charged by the kernel.
+		if compute > e.FaultCycles {
+			compute -= e.FaultCycles
+		}
+		cur.perThrd[e.Thread] = append(cur.perThrd[e.Thread], replayOp{
+			va: e.VA, write: e.Write, compute: compute,
+		})
+		lastDone[e.Thread] = e.Done
+		page := e.VA &^ (phys.PageSize - 1)
+		if page < r.loVA {
+			r.loVA = page
+		}
+		if page+phys.PageSize > r.hiVA {
+			r.hiVA = page + phys.PageSize
+		}
+	}
+	return r, nil
+}
+
+// Span returns the VA range the recording touched.
+func (r *Replay) Span() (lo, hi uint64) { return r.loVA, r.hiVA }
+
+// Phases returns the recorded phase names in order.
+func (r *Replay) Phases() []string {
+	out := make([]string, len(r.phases))
+	for i, p := range r.phases {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Threads returns the sorted thread ids present in the trace.
+func (r *Replay) Threads() []int {
+	set := map[int]bool{}
+	for _, p := range r.phases {
+		for t := range p.perThrd {
+			set[t] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Build reserves the replay address space on the master thread and
+// constructs the engine phases for nThreads threads. Recorded thread
+// ids must be < nThreads.
+func (r *Replay) Build(threads []engine.Thread) ([]engine.Phase, error) {
+	for _, t := range r.Threads() {
+		if t >= len(threads) {
+			return nil, fmt.Errorf("trace: recorded thread %d but replay has only %d threads", t, len(threads))
+		}
+	}
+	span := r.hiVA - r.loVA
+	base, err := threads[0].Task.Mmap(0, span, 0)
+	if err != nil {
+		return nil, err
+	}
+	rebase := func(va uint64) uint64 { return base + (va - r.loVA) }
+
+	var out []engine.Phase
+	for _, p := range r.phases {
+		bodies := make([]engine.Work, len(threads))
+		for tid, ops := range p.perThrd {
+			ops := ops
+			bodies[tid] = func(yield func(engine.Op) bool) {
+				for _, op := range ops {
+					if !yield(engine.Op{VA: rebase(op.va), Write: op.write, Compute: op.compute}) {
+						return
+					}
+				}
+			}
+		}
+		out = append(out, engine.Phase{Name: p.name, Work: bodies})
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+// Package trace records, summarizes and replays the memory-access
+// streams of simulated runs. A trace makes TintMalloc's effects
+// inspectable at single-access granularity — which references went
+// remote, which level served them, where the page-fault time went —
+// and lets a captured workload be re-executed under a different
+// coloring policy (the profile-then-recolor workflow NUMA profiling
+// papers like Memprof motivate).
+//
+// The on-disk format is line-oriented CSV with a header:
+//
+//	thread,phase,va,pa,write,start,done,level,fault
+//
+// chosen over a binary encoding so traces are greppable and
+// spreadsheet-ready; a multi-million-access trace is tens of MB.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/engine"
+	"github.com/tintmalloc/tintmalloc/internal/mem"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Event mirrors engine.TraceEvent in a storable form.
+type Event = engine.TraceEvent
+
+// header is the CSV column layout.
+var header = []string{"thread", "phase", "va", "pa", "write", "start", "done", "level", "fault"}
+
+// Writer streams events to CSV.
+type Writer struct {
+	cw  *csv.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter writes the header and returns a streaming writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &Writer{cw: cw}, nil
+}
+
+// Write appends one event. Errors are sticky and re-reported by
+// Flush.
+func (w *Writer) Write(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.cw.Write([]string{
+		strconv.Itoa(e.Thread),
+		e.Phase,
+		"0x" + strconv.FormatUint(e.VA, 16),
+		"0x" + strconv.FormatUint(uint64(e.PA), 16),
+		strconv.FormatBool(e.Write),
+		strconv.FormatUint(uint64(e.Start), 10),
+		strconv.FormatUint(uint64(e.Done), 10),
+		strconv.Itoa(int(e.Level)),
+		strconv.FormatUint(uint64(e.FaultCycles), 10),
+	})
+	w.n++
+}
+
+// Events returns the number of events written.
+func (w *Writer) Events() uint64 { return w.n }
+
+// Flush flushes buffered rows and reports any deferred error.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	if w.err != nil {
+		return w.err
+	}
+	return w.cw.Error()
+}
+
+// Tracer adapts the writer to the engine's hook.
+func (w *Writer) Tracer() engine.Tracer {
+	return func(e engine.TraceEvent) { w.Write(e) }
+}
+
+// Read parses a full trace.
+func Read(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != "thread" {
+		return nil, fmt.Errorf("trace: unrecognized header %v", first)
+	}
+	var out []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		e, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+}
+
+func parseRecord(rec []string) (Event, error) {
+	var e Event
+	if len(rec) != len(header) {
+		return e, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var err error
+	if e.Thread, err = strconv.Atoi(rec[0]); err != nil {
+		return e, fmt.Errorf("thread: %w", err)
+	}
+	e.Phase = rec[1]
+	va, err := strconv.ParseUint(rec[2], 0, 64)
+	if err != nil {
+		return e, fmt.Errorf("va: %w", err)
+	}
+	e.VA = va
+	pa, err := strconv.ParseUint(rec[3], 0, 64)
+	if err != nil {
+		return e, fmt.Errorf("pa: %w", err)
+	}
+	e.PA = phys.Addr(pa)
+	if e.Write, err = strconv.ParseBool(rec[4]); err != nil {
+		return e, fmt.Errorf("write: %w", err)
+	}
+	start, err := strconv.ParseUint(rec[5], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("start: %w", err)
+	}
+	e.Start = clock.Time(start)
+	done, err := strconv.ParseUint(rec[6], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("done: %w", err)
+	}
+	e.Done = clock.Time(done)
+	lvl, err := strconv.Atoi(rec[7])
+	if err != nil || lvl < 0 || lvl > int(mem.LevelDRAMRemote) {
+		return e, fmt.Errorf("level: %v", rec[7])
+	}
+	e.Level = mem.Level(lvl)
+	fault, err := strconv.ParseUint(rec[8], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("fault: %w", err)
+	}
+	e.FaultCycles = clock.Dur(fault)
+	return e, nil
+}
+
+// ThreadSummary aggregates one thread's accesses.
+type ThreadSummary struct {
+	Accesses     uint64
+	Writes       uint64
+	ByLevel      [int(mem.LevelDRAMRemote) + 1]uint64
+	TotalLatency clock.Dur
+	FaultCycles  clock.Dur
+}
+
+// Summary aggregates a trace per thread and per level.
+type Summary struct {
+	Threads map[int]*ThreadSummary
+	Total   ThreadSummary
+}
+
+// Summarize folds a trace into per-thread and total counters.
+func Summarize(events []Event) *Summary {
+	s := &Summary{Threads: make(map[int]*ThreadSummary)}
+	add := func(ts *ThreadSummary, e Event) {
+		ts.Accesses++
+		if e.Write {
+			ts.Writes++
+		}
+		ts.ByLevel[e.Level]++
+		ts.TotalLatency += clock.Dur(e.Done - e.Start)
+		ts.FaultCycles += e.FaultCycles
+	}
+	for _, e := range events {
+		ts := s.Threads[e.Thread]
+		if ts == nil {
+			ts = &ThreadSummary{}
+			s.Threads[e.Thread] = ts
+		}
+		add(ts, e)
+		add(&s.Total, e)
+	}
+	return s
+}
+
+// RemoteFrac returns the fraction of accesses served by remote DRAM.
+func (t *ThreadSummary) RemoteFrac() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.ByLevel[mem.LevelDRAMRemote]) / float64(t.Accesses)
+}
+
+// MeanLatency returns average cycles per access.
+func (t *ThreadSummary) MeanLatency() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.TotalLatency) / float64(t.Accesses)
+}
+
+// PhaseSummary aggregates a trace per phase (in first-appearance
+// order), exposing where each program section's time and locality
+// went.
+type PhaseSummary struct {
+	Order  []string
+	Phases map[string]*ThreadSummary
+}
+
+// SummarizeByPhase folds a trace into per-phase counters.
+func SummarizeByPhase(events []Event) *PhaseSummary {
+	s := &PhaseSummary{Phases: map[string]*ThreadSummary{}}
+	for _, e := range events {
+		ts := s.Phases[e.Phase]
+		if ts == nil {
+			ts = &ThreadSummary{}
+			s.Phases[e.Phase] = ts
+			s.Order = append(s.Order, e.Phase)
+		}
+		ts.Accesses++
+		if e.Write {
+			ts.Writes++
+		}
+		ts.ByLevel[e.Level]++
+		ts.TotalLatency += clock.Dur(e.Done - e.Start)
+		ts.FaultCycles += e.FaultCycles
+	}
+	return s
+}
+
+// WritePhaseSummary prints a per-phase table.
+func WritePhaseSummary(w io.Writer, s *PhaseSummary) {
+	fmt.Fprintf(w, "%-16s %10s %8s %10s %10s\n",
+		"phase", "accesses", "remote", "avg cyc", "fault cyc")
+	for _, name := range s.Order {
+		ts := s.Phases[name]
+		fmt.Fprintf(w, "%-16s %10d %7.1f%% %10.1f %10d\n",
+			name, ts.Accesses, ts.RemoteFrac()*100, ts.MeanLatency(), ts.FaultCycles)
+	}
+}
+
+// WriteSummary prints a per-thread table.
+func WriteSummary(w io.Writer, s *Summary, threads int) {
+	fmt.Fprintf(w, "%-7s %10s %8s %8s %8s %8s %10s %10s %10s\n",
+		"thread", "accesses", "L1", "L2", "L3", "DRAM", "remote", "avg cyc", "fault cyc")
+	row := func(name string, ts *ThreadSummary) {
+		dram := ts.ByLevel[mem.LevelDRAMLocal] + ts.ByLevel[mem.LevelDRAMRemote]
+		fmt.Fprintf(w, "%-7s %10d %8d %8d %8d %8d %9.1f%% %10.1f %10d\n",
+			name, ts.Accesses,
+			ts.ByLevel[mem.LevelL1], ts.ByLevel[mem.LevelL2], ts.ByLevel[mem.LevelL3],
+			dram, ts.RemoteFrac()*100, ts.MeanLatency(), ts.FaultCycles)
+	}
+	for i := 0; i < threads; i++ {
+		if ts, ok := s.Threads[i]; ok {
+			row(fmt.Sprintf("t%d", i), ts)
+		}
+	}
+	row("total", &s.Total)
+}

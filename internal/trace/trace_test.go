@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/engine"
+	"github.com/tintmalloc/tintmalloc/internal/heap"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/mem"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+const testMem = 256 << 20
+
+type rig struct {
+	k  *kernel.Kernel
+	ms *mem.System
+	e  *engine.Engine
+}
+
+func newRig(t *testing.T, cores []topology.CoreID, pol policy.Policy) *rig {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := mem.New(top, m, mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(top, m, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := policy.Plan(pol, m, top, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProcess()
+	var threads []engine.Thread
+	for i, c := range cores {
+		task, err := p.NewTask(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := policy.Apply(task, asn[i]); err != nil {
+			t.Fatal(err)
+		}
+		threads = append(threads, engine.Thread{Task: task, Heap: heap.New(task)})
+	}
+	e, err := engine.New(ms, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, ms: ms, e: e}
+}
+
+// record runs a workload with tracing and returns the raw CSV.
+func record(t *testing.T, pol policy.Policy) (string, uint64) {
+	t.Helper()
+	r := newRig(t, []topology.CoreID{0, 4}, pol)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.e.SetTracer(w.Tracer())
+	wl, err := workload.ByName("equake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := wl.Build(r.e.Threads(), workload.Params{Seed: 5, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.e.Run(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	return buf.String(), w.Events()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	csvText, n := record(t, policy.Buddy)
+	if n == 0 {
+		t.Fatal("no events recorded")
+	}
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != n {
+		t.Fatalf("read %d events, wrote %d", len(events), n)
+	}
+	// Events are emitted in processing order; per-thread, Done must
+	// be non-decreasing.
+	lastDone := map[int]uint64{}
+	for i, e := range events {
+		if e.Done < e.Start {
+			t.Fatalf("event %d: done %d < start %d", i, e.Done, e.Start)
+		}
+		if uint64(e.Done) < lastDone[e.Thread] {
+			t.Fatalf("event %d: thread %d time went backwards", i, e.Thread)
+		}
+		lastDone[e.Thread] = uint64(e.Done)
+		if e.PA == 0 && e.VA == 0 {
+			t.Fatalf("event %d: empty addresses", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not,a,trace\n1,2,3\n")); err == nil {
+		t.Error("Read accepted bad header")
+	}
+	bad := "thread,phase,va,pa,write,start,done,level,fault\nX,p,0x1,0x1,false,0,1,0,0\n"
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("Read accepted bad thread field")
+	}
+	bad2 := "thread,phase,va,pa,write,start,done,level,fault\n0,p,0x1,0x1,false,0,1,99,0\n"
+	if _, err := Read(strings.NewReader(bad2)); err == nil {
+		t.Error("Read accepted out-of-range level")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	csvText, _ := record(t, policy.Buddy)
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if len(s.Threads) != 2 {
+		t.Fatalf("summary covers %d threads, want 2", len(s.Threads))
+	}
+	var sum uint64
+	for _, ts := range s.Threads {
+		sum += ts.Accesses
+		var lvl uint64
+		for _, c := range ts.ByLevel {
+			lvl += c
+		}
+		if lvl != ts.Accesses {
+			t.Errorf("level histogram (%d) does not cover accesses (%d)", lvl, ts.Accesses)
+		}
+	}
+	if sum != s.Total.Accesses {
+		t.Errorf("total %d != per-thread sum %d", s.Total.Accesses, sum)
+	}
+	if s.Total.MeanLatency() <= 0 {
+		t.Error("MeanLatency not positive")
+	}
+	var sb strings.Builder
+	WriteSummary(&sb, s, 2)
+	if !strings.Contains(sb.String(), "total") || !strings.Contains(sb.String(), "t1") {
+		t.Errorf("summary table incomplete:\n%s", sb.String())
+	}
+}
+
+func TestReplayPreservesStructure(t *testing.T) {
+	csvText, _ := record(t, policy.Buddy)
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Threads(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("replay threads = %v", got)
+	}
+	if names := rep.Phases(); len(names) != 2 || names[0] != "init" || names[1] != "smvp" {
+		t.Fatalf("replay phases = %v", names)
+	}
+	lo, hi := rep.Span()
+	if hi <= lo {
+		t.Fatal("empty VA span")
+	}
+
+	// Re-execute under MEM+LLC coloring: same access count, zero
+	// remote accesses (the recolor payoff).
+	r2 := newRig(t, []topology.CoreID{0, 4}, policy.MEMLLC)
+	phases, err := rep.Build(r2.e.Threads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.e.Run(phases); err != nil {
+		t.Fatal(err)
+	}
+	tot := r2.ms.TotalStats()
+	if tot.Accesses != uint64(len(events)) {
+		t.Errorf("replay executed %d accesses, recorded %d", tot.Accesses, len(events))
+	}
+	if tot.RemoteDRAM != 0 {
+		t.Errorf("recolored replay still issued %d remote accesses", tot.RemoteDRAM)
+	}
+}
+
+func TestReplayThreadCountMismatch(t *testing.T) {
+	csvText, _ := record(t, policy.Buddy)
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := newRig(t, []topology.CoreID{0}, policy.Buddy) // too few threads
+	if _, err := rep.Build(r2.e.Threads()); err == nil {
+		t.Error("Build accepted too few threads")
+	}
+}
+
+func TestNewReplayEmpty(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("NewReplay accepted empty trace")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	csvText, _ := record(t, policy.Buddy)
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		rep, err := NewReplay(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := newRig(t, []topology.CoreID{0, 4}, policy.MEMLLC)
+		phases, err := rep.Build(r.e.Threads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.e.Run(phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Runtime)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("replay nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSummarizeByPhase(t *testing.T) {
+	csvText, _ := record(t, policy.Buddy)
+	events, err := Read(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeByPhase(events)
+	if len(s.Order) != 2 || s.Order[0] != "init" || s.Order[1] != "smvp" {
+		t.Fatalf("phase order = %v", s.Order)
+	}
+	var sum uint64
+	for _, ts := range s.Phases {
+		sum += ts.Accesses
+	}
+	if sum != uint64(len(events)) {
+		t.Errorf("phase accesses %d != events %d", sum, len(events))
+	}
+	var sb strings.Builder
+	WritePhaseSummary(&sb, s)
+	if !strings.Contains(sb.String(), "smvp") {
+		t.Error("phase table missing phase row")
+	}
+}
