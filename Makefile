@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures report sweep fuzz clean
+.PHONY: all build test test-short race bench figures report sweep fuzz lint clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ sweep:
 fuzz:
 	$(GO) test -fuzz=FuzzMmap -fuzztime=30s ./internal/kernel
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
+
+# vet plus the repo's own determinism/correctness analyzers
+# (cmd/tintvet); see CONTRIBUTING.md for the rules they enforce.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/tintvet ./...
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,97 @@
+// tintvet is the repository's custom lint suite: a set of static
+// analyzers enforcing the simulator's determinism and error-handling
+// contracts (see CONTRIBUTING.md "Determinism rules"). It is the
+// static half of the correctness gate; the runtime half is
+// internal/invariant, which audits kernel bookkeeping from tests.
+//
+// Usage:
+//
+//	go run ./cmd/tintvet [-list] [-v] [packages...]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 1 when any finding survives filtering. A finding is
+// suppressed by a `//tintvet:ignore <analyzer>: <reason>` comment on
+// the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/cycleclock"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/detrand"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/errdrop"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/maporder"
+)
+
+// suite is every analyzer tintvet runs, in report order.
+var suite = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	cycleclock.Analyzer,
+	errdrop.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "report each analyzed package")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range prog.Packages {
+		for _, a := range suite {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err))
+			}
+			diags := analysis.FilterIgnored(prog.Fset, pkg.Files, pass.Diagnostics())
+			for _, d := range diags {
+				fmt.Println(d)
+				findings++
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "tintvet: analyzed %s\n", pkg.Path)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "tintvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tintvet:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	tintmalloc "github.com/tintmalloc/tintmalloc"
 )
@@ -91,5 +92,6 @@ func keys(m map[int]bool) []int {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Ints(out)
 	return out
 }

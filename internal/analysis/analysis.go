@@ -1,0 +1,131 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis. The module is
+// stdlib-only by policy (see CONTRIBUTING.md), so rather than import
+// x/tools this package provides the same Analyzer/Pass/Diagnostic
+// shape over go/ast + go/types, plus a loader (load.go) that
+// typechecks the module's packages with the standard source importer.
+//
+// Analyzers live in subpackages (detrand, maporder, cycleclock,
+// errdrop) and are driven by cmd/tintvet. Findings can be suppressed
+// with a `//tintvet:ignore` comment on the flagged line or the line
+// directly above it; the suppression is deliberately line-granular so
+// every exemption is visible in review.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "detrand").
+	Name string
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+	// Applies filters the package import paths the driver runs this
+	// analyzer on; nil means every package. Fixture tests bypass the
+	// filter and run the analyzer unconditionally.
+	Applies func(pkgPath string) bool
+	// Run reports findings for one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in file/line
+// order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sortDiagnostics(p.diags)
+	return p.diags
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// IgnoreDirective is the comment that suppresses a finding on its own
+// line or the line below.
+const IgnoreDirective = "tintvet:ignore"
+
+// ignoredLines returns the set of source lines covered by
+// //tintvet:ignore comments in f: the comment's own line and the line
+// after it (so the directive can trail the flagged statement or sit
+// on its own line above it).
+func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if strings.HasPrefix(text, IgnoreDirective) {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// FilterIgnored drops diagnostics whose line carries (or directly
+// follows) a //tintvet:ignore comment.
+func FilterIgnored(fset *token.FileSet, files []*ast.File, ds []Diagnostic) []Diagnostic {
+	ignored := map[string]map[int]bool{}
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		ignored[pos.Filename] = ignoredLines(fset, f)
+	}
+	kept := ds[:0]
+	for _, d := range ds {
+		if lines, ok := ignored[d.Pos.Filename]; ok && lines[d.Pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,122 @@
+// Package atest runs an analyzer against fixture sources, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files
+// carry `// want "regexp"` comments on the lines where the analyzer
+// must report, and the test fails on any missing or unexpected
+// diagnostic. Fixtures may only import the standard library.
+package atest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+)
+
+// wantRe matches `// want "pattern"` at the end of a comment; the
+// pattern is a quoted Go string holding a regexp.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+// Run parses every .go file under dir as one package, typechecks it,
+// applies the analyzer, filters //tintvet:ignore suppressions, and
+// matches the surviving diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("atest: %v", err)
+		}
+		files = append(files, f)
+		wants = append(wants, collectWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("atest: no fixture files in %s", dir)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: typechecking fixtures: %v", err)
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("atest: analyzer %s: %v", a.Name, err)
+	}
+	diags := analysis.FilterIgnored(fset, files, pass.Diagnostics())
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.met = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("line %d: no diagnostic matching %q", w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("atest: bad want comment %q: %v", c.Text, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("atest: bad want pattern %q: %v", pat, err)
+			}
+			out = append(out, &expectation{line: fset.Position(c.Pos()).Line, pattern: re})
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package cycleclock forbids wall-clock and sync-based timing inside
+// the cycle-accurate simulator core. The engine, DRAM and cache
+// models measure everything in simulated core cycles (internal/clock)
+// under a single-threaded discrete-event loop; importing `time` or
+// coordinating through `sync` primitives there either leaks host
+// wall-clock state into simulated results or implies hidden
+// concurrency that the event loop's determinism contract excludes.
+package cycleclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+)
+
+// scoped lists the packages that must express all timing in
+// internal/clock cycles.
+var scoped = []string{
+	"/internal/engine",
+	"/internal/dram",
+	"/internal/cache",
+	"/internal/mem",
+	"/internal/clock",
+}
+
+// Analyzer flags any use of the time or sync packages in the
+// simulator-core packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "cycleclock",
+	Doc: "forbid time and sync usage in the cycle-accurate core " +
+		"(engine/dram/cache/mem): timing there is internal/clock cycles only",
+	Applies: func(pkgPath string) bool {
+		for _, s := range scoped {
+			if strings.HasSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				pass.Reportf(id.Pos(),
+					"time.%s in cycle-accurate simulator code; model durations as internal/clock cycles", id.Name)
+			case "sync", "sync/atomic":
+				pass.Reportf(id.Pos(),
+					"%s.%s in the single-threaded event loop implies hidden concurrency or wall-clock coordination; the engine serializes all simulator state",
+					obj.Pkg().Name(), id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

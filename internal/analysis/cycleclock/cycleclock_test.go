@@ -1,0 +1,31 @@
+package cycleclock
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestCycleclock(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}
+
+func TestApplies(t *testing.T) {
+	for _, p := range []string{
+		"github.com/tintmalloc/tintmalloc/internal/engine",
+		"github.com/tintmalloc/tintmalloc/internal/dram",
+		"github.com/tintmalloc/tintmalloc/internal/cache",
+	} {
+		if !Analyzer.Applies(p) {
+			t.Errorf("cycleclock must apply to %s", p)
+		}
+	}
+	for _, p := range []string{
+		"github.com/tintmalloc/tintmalloc/internal/bench", // uses sync.Mutex legitimately
+		"github.com/tintmalloc/tintmalloc/internal/phys",  // sync.Once table build
+	} {
+		if Analyzer.Applies(p) {
+			t.Errorf("cycleclock must not apply to %s", p)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// Cycles stands in for internal/clock.Dur in this fixture.
+type Cycles uint64
+
+// flagged: wall-clock timing and sync coordination in core code.
+func bad() Cycles {
+	start := time.Now() // want "time.Now in cycle-accurate"
+	time.Sleep(0)       // want "time.Sleep in cycle-accurate"
+	var mu sync.Mutex   // want "sync.Mutex in the single-threaded event loop"
+	_ = mu
+	return Cycles(time.Since(start)) // want "time.Since in cycle-accurate"
+}
+
+// allowed: an acknowledged exemption via the escape hatch.
+func exempt() {
+	var wg sync.WaitGroup //tintvet:ignore cycleclock: fixture exercises the escape hatch
+	_ = wg
+}
+
+// allowed: simulated-cycle arithmetic needs nothing from the host.
+func good(now, cost Cycles) Cycles {
+	return now + cost
+}

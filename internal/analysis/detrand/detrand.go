@@ -1,0 +1,77 @@
+// Package detrand forbids ambient randomness and wall-clock seeding
+// in simulator code. The repository's determinism contract
+// (DESIGN.md Sec. 6, CONTRIBUTING.md) requires every source of
+// randomness to be an explicitly seeded *rand.Rand threaded from run
+// configuration; the global math/rand functions draw from a shared,
+// auto-seeded source and silently break bit-reproducibility, as does
+// time.Now-derived seeding.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+)
+
+// Analyzer flags global math/rand (and math/rand/v2) functions,
+// rand.Seed, and time.Now in simulator packages. Constructing a local
+// generator with rand.New(rand.NewSource(seed)) is the approved
+// pattern and is not flagged.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid the global math/rand source, rand.Seed and time.Now " +
+		"in simulator code; thread a seeded *rand.Rand from config instead",
+	Applies: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/internal/")
+	},
+	Run: run,
+}
+
+// allowed names construct explicitly seeded generators rather than
+// drawing from the global source.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if id.Name == "Seed" {
+					pass.Reportf(id.Pos(),
+						"rand.Seed reseeds the shared global source; construct rand.New(rand.NewSource(seed)) from run config instead")
+				} else if !allowed[id.Name] {
+					pass.Reportf(id.Pos(),
+						"global %s.%s draws from an unseeded shared source, breaking run reproducibility; use an explicitly seeded *rand.Rand",
+						obj.Pkg().Name(), id.Name)
+				}
+			case "time":
+				if id.Name == "Now" {
+					pass.Reportf(id.Pos(),
+						"time.Now injects wall-clock state into simulator code; derive values from configured seeds or internal/clock cycles")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

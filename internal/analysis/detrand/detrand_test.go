@@ -1,0 +1,20 @@
+package detrand
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestDetrand(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}
+
+func TestApplies(t *testing.T) {
+	if !Analyzer.Applies("github.com/tintmalloc/tintmalloc/internal/kernel") {
+		t.Error("detrand must apply to internal simulator packages")
+	}
+	if Analyzer.Applies("github.com/tintmalloc/tintmalloc/cmd/tintbench") {
+		t.Error("detrand must not apply outside internal/")
+	}
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// flagged: ambient randomness and wall-clock use.
+func bad() {
+	_ = rand.Intn(10)    // want "global rand.Intn"
+	rand.Seed(42)        // want "rand.Seed reseeds"
+	rand.Shuffle(3, nil) // want "global rand.Shuffle"
+	_ = time.Now()       // want "time.Now injects wall-clock"
+	_ = rand.Int63()     // want "global rand.Int63"
+	f := rand.Float64    // want "global rand.Float64"
+	_ = f
+}
+
+// allowed: an explicitly seeded generator threaded from the caller.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, 100)
+	_ = z
+	return rng.Intn(10)
+}
+
+// allowed: an acknowledged exemption via the escape hatch.
+func exempt() int {
+	return rand.Intn(10) //tintvet:ignore detrand: fixture exercises the escape hatch
+}
+
+// allowed: time used for types/constants only, not wall-clock reads.
+func duration() time.Duration {
+	return 3 * time.Second
+}

@@ -1,0 +1,11 @@
+package errdrop
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestErrdrop(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}

@@ -1,0 +1,48 @@
+package fixture
+
+// task mimics the kernel/heap allocator API surface.
+type task struct{}
+
+func (t *task) Mmap(addr, length uint64, prot uint32) (uint64, error) { return 0, nil }
+func (t *task) Malloc(size uint64) (uint64, error)                    { return 0, nil }
+func (t *task) Free(va uint64) error                                  { return nil }
+func (t *task) Munmap(va, length uint64) error                        { return nil }
+
+// Free here is NOT an allocator: it returns no error, so dropping
+// "nothing" is fine.
+type pool struct{}
+
+func (p *pool) Free(va uint64) {}
+
+// flagged: every failure path silently swallowed.
+func bad(t *task) uint64 {
+	t.Free(0)                // want "result error of Free is discarded"
+	t.Munmap(0, 4096)        // want "result error of Munmap is discarded"
+	va, _ := t.Mmap(0, 1, 0) // want "error result of Mmap assigned to blank identifier"
+	_, _ = t.Malloc(64)      // want "error result of Malloc assigned to blank identifier"
+	defer t.Free(va)         // want "deferred Free discards its error"
+	return va
+}
+
+// allowed: errors captured (checked or not — capture is the contract
+// this analyzer enforces; go vet handles unused variables).
+func good(t *task) (uint64, error) {
+	va, err := t.Mmap(0, 4096, 0)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Free(va); err != nil {
+		return 0, err
+	}
+	return va, nil
+}
+
+// allowed: same method name without an error result.
+func notAllocator(p *pool) {
+	p.Free(7)
+}
+
+// allowed: acknowledged exemption for a teardown path.
+func exempt(t *task) {
+	_ = t.Munmap(0, 4096) //tintvet:ignore errdrop: teardown, segfault here is unreachable
+}

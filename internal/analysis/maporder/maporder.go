@@ -1,0 +1,208 @@
+// Package maporder flags map iteration whose body is sensitive to
+// iteration order. Go randomizes map range order per run, so a loop
+// that appends to an outer slice, prints, accumulates floating-point
+// values, or mutates simulator allocation state while ranging over a
+// map produces run-to-run divergent results — precisely the silent
+// nondeterminism the repository's reproducibility contract forbids.
+//
+// The canonical deterministic idiom — collect keys, sort, iterate the
+// sorted slice — stays allowed: an append inside a map range is not
+// flagged when the destination slice is sorted later in the same
+// enclosing block.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+)
+
+// Analyzer reports order-sensitive map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag ranging over maps where the body appends to outer slices " +
+		"(without a later sort), writes output, accumulates floats, or " +
+		"calls allocator APIs — map order is randomized per run",
+	Run: run,
+}
+
+// stateAPIs are allocator/kernel entry points whose call order is
+// semantically significant: they mutate free lists, page tables or
+// color lists, so invoking them in map order makes frame placement —
+// and every downstream cycle count — nondeterministic.
+var stateAPIs = map[string]bool{
+	"Mmap": true, "Munmap": true, "Malloc": true, "Calloc": true,
+	"Realloc": true, "Free": true, "FreePages": true, "AllocPages": true,
+	"Alloc": true, "AllocExact": true, "AllocMatching": true,
+	"Migrate": true, "Translate": true, "Trim": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body := stmtList(n)
+			if body == nil {
+				return true
+			}
+			for i, st := range body {
+				rng, ok := st.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rng) {
+					continue
+				}
+				checkBody(pass, rng, body[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node directly holds, so a
+// range statement can be checked against its trailing siblings (for
+// the append-then-sort exemption).
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody walks one map-range body; rest is the statement tail of
+// the enclosing block after the range statement.
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, rng, n, rest)
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rng, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr, rest []ast.Stmt) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		_, isBuiltin := obj.(*types.Builtin)
+		if fun.Name == "append" && (obj == nil || isBuiltin) && len(call.Args) > 0 {
+			// Builtin append. Appending to a slice declared outside
+			// the loop records map order — unless the slice is
+			// sorted before use, the collect-then-sort idiom.
+			dst, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.TypesInfo.Uses[dst]
+			if obj == nil || !declaredOutside(obj, rng) {
+				return
+			}
+			if sortedAfter(pass, obj, rest) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"append to %q inside map iteration records randomized map order; collect then sort, or sort %q before use",
+				dst.Name, dst.Name)
+		}
+	case *ast.SelectorExpr:
+		sel := fun.Sel
+		if obj := pass.TypesInfo.Uses[sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			if strings.HasPrefix(sel.Name, "Print") || strings.HasPrefix(sel.Name, "Fprint") {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside map iteration emits output in randomized map order", sel.Name)
+			}
+			return
+		}
+		if stateAPIs[sel.Name] {
+			if s, ok := pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal {
+				pass.Reportf(call.Pos(),
+					"%s called in map iteration order mutates allocator state nondeterministically; iterate sorted keys instead",
+					sel.Name)
+			}
+		}
+	}
+}
+
+// checkFloatAccum flags compound floating-point accumulation into a
+// variable declared outside the loop: float addition is not
+// associative, so the randomized order changes the result bits.
+func checkFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !declaredOutside(obj, rng) {
+			continue
+		}
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %q under map iteration is order-sensitive and maps iterate in randomized order",
+				id.Name)
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether a statement following the range loop
+// passes obj to a sort.* or slices.Sort* call — the second half of
+// the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.TypesInfo.Uses[sel.Sel]
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}

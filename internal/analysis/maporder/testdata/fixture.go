@@ -1,0 +1,63 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+type arena struct{}
+
+func (a *arena) Free(va uint64) error { return nil }
+
+// flagged: order-sensitive bodies under map iteration.
+func bad(m map[int]float64, a *arena) ([]int, float64) {
+	var keys []int
+	var sum float64
+	for k, v := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration"
+		sum += v               // want "floating-point accumulation into \"sum\""
+		fmt.Println(k)         // want "fmt.Println inside map iteration"
+	}
+	for k := range m {
+		_ = a.Free(uint64(k)) // want "Free called in map iteration order"
+	}
+	return keys, sum
+}
+
+// allowed: the collect-then-sort idiom — the append records map
+// order, but the sort erases it before anyone observes the slice.
+func good(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// allowed: order-insensitive bodies (counting, max, map writes,
+// integer accumulation, appends to loop-local slices).
+func alsoGood(m map[int]int) (int, int) {
+	n, max := 0, 0
+	inverse := map[int]int{}
+	for k, v := range m {
+		n++
+		if v > max {
+			max = v
+		}
+		inverse[v] = k
+		local := []int{}
+		local = append(local, k)
+		_ = local
+	}
+	return n, max
+}
+
+// allowed: acknowledged exemption.
+func exempt(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) //tintvet:ignore maporder: order handled by caller
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+// Regression gate for the repository's central reproducibility claim
+// (DESIGN.md Sec. 6, CONTRIBUTING.md): the simulator is a pure
+// function of its seeds. The same MEM+LLC cell run twice must produce
+// byte-identical metrics — down to every per-thread vector and
+// memory-system ratio. Any nondeterminism smuggled in (map iteration,
+// wall-clock, global rand) shows up here as a diff between two runs
+// in the same process.
+func TestRunsAreByteIdentical(t *testing.T) {
+	mach := testMachine(t)
+	cfg, err := ConfigByName(mach.Topo, "4_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ByName("synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{
+		Workload:  wl,
+		Config:    cfg,
+		Policy:    policy.MEMLLC,
+		Params:    workload.Params{Seed: 12345, Scale: 0.25},
+		ChurnSeed: 7,
+	}
+
+	// The planned color sets must honor the policy's disjointness
+	// promise before we even run.
+	asn, err := policy.Plan(spec.Policy, mach.Mapping, mach.Topo, cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := invariant.CheckPlan(mach.Mapping, spec.Policy, asn); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Run(mach, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(mach, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two runs of the same spec diverged:\n run 1: %+v\n run 2: %+v", first, second)
+	}
+	// Belt and braces: the printed representation (which covers
+	// float bit patterns via %v and every slice element) must match
+	// byte for byte.
+	if a, b := fmt.Sprintf("%#v", first), fmt.Sprintf("%#v", second); a != b {
+		t.Fatalf("formatted metrics differ:\n%s\n%s", a, b)
+	}
+	if first.Runtime == 0 {
+		t.Fatal("run produced zero runtime — workload did not execute")
+	}
+}

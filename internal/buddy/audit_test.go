@@ -1,0 +1,61 @@
+// External test package: invariant imports buddy, so the structural
+// check is wired in from buddy_test to avoid an import cycle.
+package buddy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/buddy"
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+type block struct {
+	f     phys.Frame
+	order int
+}
+
+// A long seeded mixed-order alloc/free storm must leave the free
+// lists structurally sound (aligned, in range, non-overlapping,
+// counts consistent) at every checkpoint, and fully coalesced back to
+// one max-order block once everything is freed.
+func TestBuddyStructureUnderMixedOrderChurn(t *testing.T) {
+	const frames = 1 << 12
+	a, err := buddy.New(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var held []block
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) > 0 || len(held) == 0 {
+			order := rng.Intn(buddy.MaxOrder + 1)
+			if f, err := a.Alloc(order); err == nil {
+				held = append(held, block{f, order})
+			}
+		} else {
+			j := rng.Intn(len(held))
+			if err := a.Free(held[j].f, held[j].order); err != nil {
+				t.Fatal(err)
+			}
+			held = append(held[:j], held[j+1:]...)
+		}
+		if i%500 == 0 {
+			if err := invariant.CheckBuddy(a); err != nil {
+				t.Fatalf("after %d ops: %v", i, err)
+			}
+		}
+	}
+	for _, b := range held {
+		if err := a.Free(b.f, b.order); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := invariant.CheckBuddy(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != frames {
+		t.Fatalf("FreeFrames = %d after freeing everything, want %d", a.FreeFrames(), frames)
+	}
+}

@@ -199,6 +199,18 @@ func (a *Allocator) AllocMatching(order int, match func(head phys.Frame, order i
 	return 0, false
 }
 
+// VisitFreeBlocks calls fn for every free block (head frame, order),
+// in ascending order then list (LIFO) position. It exposes the free
+// lists to the invariant auditor (internal/invariant), which
+// cross-checks them against the kernel's color lists and page tables.
+func (a *Allocator) VisitFreeBlocks(fn func(head phys.Frame, order int)) {
+	for ord := 0; ord <= MaxOrder; ord++ {
+		for f := a.head[ord]; f != nilFrame; f = a.next[f] {
+			fn(phys.Frame(f), ord)
+		}
+	}
+}
+
 // Free returns a block of 2^order frames headed at f, coalescing with
 // free buddies as far as possible.
 func (a *Allocator) Free(f phys.Frame, order int) error {

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// touchWork yields one read per page of [va, va+pages*PageSize).
+func touchWork(va uint64, pages int) Work {
+	return func(yield func(Op) bool) {
+		for i := 0; i < pages; i++ {
+			if !yield(Op{Compute: 1, VA: va + uint64(i)*phys.PageSize}) {
+				return
+			}
+		}
+	}
+}
+
+// The audit hook must run at every phase boundary and see clean
+// kernel bookkeeping throughout a colored two-thread run.
+func TestAuditHookRunsAtEveryBarrier(t *testing.T) {
+	cores := []topology.CoreID{0, 4}
+	r := newRig(t, cores)
+
+	// Color the tasks like a real experiment would (MEM+LLC).
+	asn, err := policy.Plan(policy.MEMLLC, r.k.Mapping(), topology.Opteron6128(), cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vas []uint64
+	const pages = 16
+	for i, th := range r.e.Threads() {
+		if err := policy.Apply(th.Task, asn[i]); err != nil {
+			t.Fatal(err)
+		}
+		va, err := th.Task.Mmap(0, pages*phys.PageSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas = append(vas, va)
+	}
+
+	calls := 0
+	r.e.SetAuditHook(func() error {
+		calls++
+		return invariant.Audit(r.k).Err()
+	})
+
+	phases := []Phase{
+		Parallel("warm", []Work{touchWork(vas[0], pages), touchWork(vas[1], pages)}),
+		Serial("mid", 2, computeWork(5, 10)),
+		Parallel("reuse", []Work{touchWork(vas[0], pages), touchWork(vas[1], pages)}),
+	}
+	if _, err := r.e.Run(phases); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(phases) {
+		t.Errorf("audit hook ran %d times, want %d (once per phase)", calls, len(phases))
+	}
+
+	// A hook failure must abort the run with the phase named.
+	boom := errors.New("bookkeeping drift")
+	r.e.SetAuditHook(func() error { return boom })
+	_, err = r.e.Run([]Phase{Serial("post", 2, computeWork(1, 1))})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), `audit after phase "post"`) {
+		t.Errorf("error does not name the phase: %v", err)
+	}
+}
+
+// The hook fires even when the engine faults colored pages on demand
+// mid-phase — the state it audits includes freshly shattered color
+// lists.
+func TestAuditHookSeesColoredFaultState(t *testing.T) {
+	r := newRig(t, []topology.CoreID{0})
+	task := r.e.Threads()[0].Task
+	bc := r.k.Mapping().BankColorsOfNode(0)[0]
+	if _, err := task.Mmap(uint64(bc)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+		t.Fatal(err)
+	}
+	va, err := task.Mmap(0, 8*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *invariant.Report
+	r.e.SetAuditHook(func() error {
+		last = invariant.Audit(r.k)
+		return last.Err()
+	})
+	if _, err := r.e.Run([]Phase{Parallel("touch", []Work{touchWork(va, 8)})}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("audit hook never ran")
+	}
+	if last.Mapped != 8 {
+		t.Errorf("audit saw Mapped = %d, want 8", last.Mapped)
+	}
+	if last.Parked == 0 {
+		t.Error("colored faulting should have parked shattered frames")
+	}
+	if last.Unaccounted != 0 {
+		t.Errorf("audit saw %d unaccounted frames", last.Unaccounted)
+	}
+}

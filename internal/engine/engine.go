@@ -162,6 +162,7 @@ type Engine struct {
 	threads  []Thread
 	now      clock.Time
 	tracer   Tracer
+	audit    func() error
 	opBudget uint64
 	// release[i] is thread i's personal start time for the next
 	// phase (diverges from `now` after a NoWait phase).
@@ -170,6 +171,14 @@ type Engine struct {
 
 // SetTracer installs (or, with nil, removes) an access tracer.
 func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// SetAuditHook installs a function the engine calls after every phase
+// (and nil removes it). Tests hook the invariant auditor
+// (internal/invariant) here so kernel bookkeeping is cross-checked at
+// every barrier of every simulated program; a non-nil return aborts
+// the run with that error. The hook is a plain function value — no
+// build tags — and is never set outside tests.
+func (e *Engine) SetAuditHook(h func() error) { e.audit = h }
 
 // maxOps guards against runaway thread bodies (an infinite yield
 // loop would otherwise hang the simulation silently). Overridable
@@ -241,6 +250,11 @@ func (e *Engine) Run(phases []Phase) (*Result, error) {
 		res.Phases = append(res.Phases, pr)
 		if err != nil {
 			return res, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
+		}
+		if e.audit != nil {
+			if err := e.audit(); err != nil {
+				return res, fmt.Errorf("engine: audit after phase %q: %w", ph.Name, err)
+			}
 		}
 	}
 	res.Runtime = clock.Dur(e.now)

@@ -16,6 +16,7 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/tintmalloc/tintmalloc/internal/kernel"
 	"github.com/tintmalloc/tintmalloc/internal/phys"
@@ -225,7 +226,16 @@ func (h *Heap) Trim() (released int, err error) {
 		}
 		h.free[cls] = kept
 	}
+	// Unmap in ascending address order: frames rejoin the colored
+	// free lists (or buddy) in release order, so iterating the map
+	// directly would make subsequent placements depend on Go's
+	// randomized map order and break run reproducibility.
+	bases := make([]uint64, 0, len(empty))
 	for base := range empty {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, base := range bases {
 		if err := h.task.Munmap(base, phys.PageSize); err != nil {
 			return released, err
 		}

@@ -1,0 +1,229 @@
+// Package invariant is the runtime half of the repository's
+// correctness gate (the static half is cmd/tintvet): it audits the
+// structural invariants TintMalloc's results depend on and that no
+// single layer can check alone.
+//
+// The paper's claims are only meaningful if the simulator's
+// bookkeeping never drifts between layers: every frame on
+// color_list[bc][lc] must actually hash to (bc, lc) under the
+// machine's address mapping (paper Eq. 1), a frame must have exactly
+// one owner (a buddy free list, a color list, a page table, or a pcp
+// cache), and policies that promise per-thread private color sets
+// must actually hand out disjoint sets. A silent violation — e.g. a
+// double-freed colored frame parked twice and then handed to two
+// threads — would corrupt cycle counts without failing anything,
+// which is exactly the failure mode cross-layer partitioners like BPM
+// and vertical memory management are known for.
+//
+// Audit is wired into kernel, buddy, engine and bench tests (no build
+// tags; it runs under plain `go test ./...`). It is O(frames) and not
+// meant for simulation hot paths.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/buddy"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+)
+
+// maxViolations bounds how many violations one audit records; a
+// corrupt kernel would otherwise produce one per frame.
+const maxViolations = 20
+
+// Report is the outcome of one Audit walk.
+type Report struct {
+	Frames    uint64 // total frames in the machine
+	BuddyFree uint64 // frames on buddy free lists
+	Parked    uint64 // frames parked on color lists
+	Mapped    uint64 // frames resident in page tables
+	PCPCached uint64 // frames in per-task pcp caches
+	// Unaccounted frames have no owner. Zero on an un-churned
+	// kernel; a churned kernel pins HoldoutFrac of its frames as
+	// permanently-resident "other process" memory, which shows up
+	// here by design.
+	Unaccounted uint64
+	Violations  []string
+}
+
+// Err returns nil for a clean report and an error summarizing the
+// violations otherwise.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant: %d violation(s):\n  %s",
+		len(r.Violations), strings.Join(r.Violations, "\n  "))
+}
+
+func (r *Report) addf(format string, args ...any) {
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// frame owners for the exclusivity check.
+const (
+	ownerNone = iota
+	ownerBuddy
+	ownerColorList
+	ownerPageTable
+	ownerPCP
+)
+
+var ownerName = [...]string{"none", "buddy free list", "color list", "page table", "pcp cache"}
+
+// Audit cross-checks the kernel's frame bookkeeping across layers:
+//
+//  1. Every frame on color_list[bc][lc] hashes to bank color bc and
+//     LLC color lc under the machine mapping, independently recomputed
+//     from phys (not the kernel's cached tables).
+//  2. Every frame has at most one owner among {buddy free list, color
+//     list, page table, pcp cache}; duplicates on the same color list
+//     (a silent colored double-free) count as two owners.
+//  3. Frames marked colored never sit on a buddy free list, and frames
+//     parked on a color list always carry the colored mark.
+//
+// The caller decides what Unaccounted must be: 0 for pristine
+// kernels, the churn holdout for aged ones.
+func Audit(k *kernel.Kernel) *Report {
+	m := k.Mapping()
+	r := &Report{Frames: m.Frames()}
+	owner := make([]uint8, m.Frames())
+
+	claim := func(f phys.Frame, who uint8, what string) {
+		if uint64(f) >= r.Frames {
+			r.addf("%s holds out-of-range frame %d", what, f)
+			return
+		}
+		if owner[f] != ownerNone {
+			r.addf("frame %d owned by both %s and %s", f, ownerName[owner[f]], what)
+			return
+		}
+		owner[f] = who
+	}
+
+	for n := 0; n < m.Nodes(); n++ {
+		k.VisitZoneFree(n, func(head phys.Frame, order int) {
+			for f := head; f < head+phys.Frame(uint64(1)<<order); f++ {
+				claim(f, ownerBuddy, "buddy free list")
+				r.BuddyFree++
+				if k.FrameColored(f) {
+					r.addf("colored frame %d returned to the buddy allocator; colored frames must rejoin their color list", f)
+				}
+			}
+		})
+	}
+
+	k.VisitColorLists(func(bc, lc int, f phys.Frame) {
+		claim(f, ownerColorList, fmt.Sprintf("color list [%d][%d]", bc, lc))
+		r.Parked++
+		if !m.ValidFrame(f) {
+			return
+		}
+		if wantBC, wantLC := m.FrameBankColor(f), m.FrameLLCColor(f); wantBC != bc || wantLC != lc {
+			r.addf("frame %d parked on color list [%d][%d] but hashes to (%d,%d) under the mapping",
+				f, bc, lc, wantBC, wantLC)
+		}
+		if !k.FrameColored(f) {
+			r.addf("frame %d parked on color list [%d][%d] without the colored ownership mark", f, bc, lc)
+		}
+	})
+
+	for _, p := range k.Processes() {
+		p.VisitPages(func(vp uint64, f phys.Frame) {
+			claim(f, ownerPageTable, fmt.Sprintf("process %d page table (vpage %#x)", p.ID(), vp))
+			r.Mapped++
+		})
+		for _, t := range p.Tasks() {
+			for _, f := range t.PCPFrames() {
+				claim(f, ownerPCP, fmt.Sprintf("task %d pcp cache", t.ID()))
+				r.PCPCached++
+			}
+		}
+	}
+
+	for _, o := range owner {
+		if o == ownerNone {
+			r.Unaccounted++
+		}
+	}
+	return r
+}
+
+// CheckBuddy verifies one buddy allocator's free-list structure in
+// isolation: block alignment, range, non-overlap, and agreement
+// between FreeFrames and the sum over free blocks.
+func CheckBuddy(a *buddy.Allocator) error {
+	seen := make([]bool, a.Frames())
+	var total uint64
+	var errs []string
+	addf := func(format string, args ...any) {
+		if len(errs) < maxViolations {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+	a.VisitFreeBlocks(func(head phys.Frame, order int) {
+		n := uint64(1) << order
+		if uint64(head)&(n-1) != 0 {
+			addf("free block head %d misaligned for order %d", head, order)
+		}
+		if uint64(head)+n > a.Frames() {
+			addf("free block [%d,%d) exceeds range %d", head, uint64(head)+n, a.Frames())
+			return
+		}
+		for f := head; f < head+phys.Frame(n); f++ {
+			if seen[f] {
+				addf("frame %d appears in two free blocks", f)
+			}
+			seen[f] = true
+		}
+		total += n
+	})
+	if total != a.FreeFrames() {
+		addf("free blocks sum to %d frames but FreeFrames() = %d", total, a.FreeFrames())
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("invariant: buddy: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// CheckPlan verifies the color-set disjointness a policy promises
+// (paper Sec. V-B: "private" always means disjoint from every other
+// thread). Bank disjointness is only a guarantee under a separable
+// mapping — with overlapped bank/LLC bits the bank sets are derived
+// from LLC compatibility and may legitimately intersect.
+func CheckPlan(m *phys.Mapping, p policy.Policy, asn []policy.Assignment) error {
+	var errs []string
+	if p.PrivateBanks() && m.SeparableColors() {
+		if err := disjoint("bank", func(i int) []int { return asn[i].BankColors }, len(asn)); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if p.PrivateLLC() {
+		if err := disjoint("LLC", func(i int) []int { return asn[i].LLCColors }, len(asn)); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("invariant: plan for %s: %s", p, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+func disjoint(kind string, colorsOf func(i int) []int, n int) error {
+	ownerOf := map[int]int{}
+	for i := 0; i < n; i++ {
+		for _, c := range colorsOf(i) {
+			if prev, ok := ownerOf[c]; ok {
+				return fmt.Errorf("%s color %d granted to both thread %d and thread %d", kind, c, prev, i)
+			}
+			ownerOf[c] = i
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package invariant
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/buddy"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+const testMem = 128 << 20
+
+func boot(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(top, m, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAuditFreshKernelClean(t *testing.T) {
+	k := boot(t)
+	r := Audit(k)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BuddyFree != r.Frames || r.Unaccounted != 0 || r.Parked != 0 || r.Mapped != 0 {
+		t.Fatalf("fresh kernel accounting off: %+v", r)
+	}
+}
+
+func TestAuditTracksColoredLifecycle(t *testing.T) {
+	k := boot(t)
+	task, err := k.NewProcess().NewTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := k.Mapping().BankColorsOfNode(0)[0]
+	if _, err := task.Mmap(uint64(bc)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+		t.Fatal(err)
+	}
+	const pages = 16
+	va, err := task.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		if _, _, err := task.Translate(va + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := Audit(k)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mapped != pages {
+		t.Errorf("Mapped = %d, want %d", r.Mapped, pages)
+	}
+	if r.Parked == 0 {
+		t.Error("colored refill should have parked shattered frames on color lists")
+	}
+	if r.Unaccounted != 0 {
+		t.Errorf("leaked %d frames", r.Unaccounted)
+	}
+	// Unmapping returns every frame to a free list of some kind.
+	if err := task.Munmap(va, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	r = Audit(k)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mapped != 0 || r.Unaccounted != 0 {
+		t.Errorf("after munmap: %+v", r)
+	}
+}
+
+// A colored double free is silent in the kernel — the frame is simply
+// parked twice and will be handed to two different threads later.
+// Audit must catch it as a double ownership.
+func TestAuditDetectsColoredDoubleFree(t *testing.T) {
+	k := boot(t)
+	task, err := k.NewProcess().NewTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := k.Mapping().BankColorsOfNode(0)[0]
+	if _, err := task.Mmap(uint64(bc)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := k.AllocPages(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.FrameColored(f) {
+		t.Fatalf("frame %d not colored", f)
+	}
+	if err := k.FreePages(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FreePages(f, 0); err != nil {
+		t.Fatal(err) // silently accepted: this is the drift
+	}
+	r := Audit(k)
+	err = r.Err()
+	if err == nil {
+		t.Fatal("Audit missed a colored double free")
+	}
+	if !strings.Contains(err.Error(), "owned by both") {
+		t.Errorf("unexpected violation text: %v", err)
+	}
+}
+
+func TestCheckBuddyCleanUnderChurn(t *testing.T) {
+	a, err := buddy.New(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var held []phys.Frame
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 || len(held) == 0 {
+			if f, err := a.Alloc(0); err == nil {
+				held = append(held, f)
+			}
+		} else {
+			i := rng.Intn(len(held))
+			if err := a.Free(held[i], 0); err != nil {
+				t.Fatal(err)
+			}
+			held = append(held[:i], held[i+1:]...)
+		}
+	}
+	if err := CheckBuddy(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPlan(t *testing.T) {
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := make([]topology.CoreID, 8)
+	for i := range cores {
+		cores[i] = topology.CoreID(i)
+	}
+	for _, p := range policy.All() {
+		asn, err := policy.Plan(p, m, top, cores)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := CheckPlan(m, p, asn); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	// A fabricated overlap must be rejected.
+	bad := []policy.Assignment{
+		{BankColors: []int{1, 2}, LLCColors: []int{0}},
+		{BankColors: []int{2, 3}, LLCColors: []int{1}},
+	}
+	if err := CheckPlan(m, policy.MEMLLC, bad); err == nil {
+		t.Error("CheckPlan accepted overlapping bank sets")
+	}
+}

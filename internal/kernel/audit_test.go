@@ -1,0 +1,218 @@
+// External test package: the invariant auditor imports kernel, so
+// wiring it into kernel tests has to happen from kernel_test to avoid
+// an import cycle. These tests are the kernel's half of the runtime
+// correctness gate (see DESIGN.md Sec. 7).
+package kernel_test
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+const auditMem = 256 << 20
+
+func bootKernel(t *testing.T, cfg kernel.Config) *kernel.Kernel {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(auditMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(top, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func mustAudit(t *testing.T, k *kernel.Kernel) *invariant.Report {
+	t.Helper()
+	r := invariant.Audit(k)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func setTaskColors(t *testing.T, task *kernel.Task, banks, llcs []int) {
+	t.Helper()
+	for _, c := range banks {
+		if _, err := task.Mmap(uint64(c)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range llcs {
+		if _, err := task.Mmap(uint64(c)|kernel.SetLLCColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Mixed colored/uncolored allocation and teardown must keep every
+// frame singly owned and fully accounted at every step.
+func TestAuditAcrossAllocationLifecycle(t *testing.T) {
+	k := bootKernel(t, kernel.DefaultConfig())
+	m := k.Mapping()
+	proc := k.NewProcess()
+
+	colored, err := proc.NewTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setTaskColors(t, colored, m.BankColorsOfNode(0)[:2], []int{3, 4})
+	plain, err := proc.NewTask(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pages = 64
+	vaC, err := colored.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaP, err := plain.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		if _, _, err := colored.Translate(vaC + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := plain.Translate(vaP + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := mustAudit(t, k)
+	if r.Mapped != 2*pages {
+		t.Errorf("Mapped = %d, want %d", r.Mapped, 2*pages)
+	}
+	if r.Unaccounted != 0 {
+		t.Errorf("leaked %d frames mid-run", r.Unaccounted)
+	}
+
+	if err := colored.Munmap(vaC, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Munmap(vaP, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	r = mustAudit(t, k)
+	if r.Mapped != 0 || r.Unaccounted != 0 {
+		t.Errorf("after teardown: %+v", r)
+	}
+}
+
+// A churned kernel intentionally pins HoldoutFrac of each zone as
+// permanently-resident foreign memory; the audit must account for
+// exactly that many unowned frames and nothing else.
+func TestAuditChurnHoldoutAccounting(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.ChurnSeed = 42
+	cfg.HoldoutFrac = 0.25
+	k := bootKernel(t, cfg)
+	m := k.Mapping()
+	r := mustAudit(t, k)
+	perZone := m.Frames() / uint64(m.Nodes())
+	wantHoldout := uint64(m.Nodes()) * uint64(0.25*float64(perZone))
+	if r.Unaccounted != wantHoldout {
+		t.Errorf("Unaccounted = %d, want churn holdout %d", r.Unaccounted, wantHoldout)
+	}
+}
+
+// Satellite: migration recolor paths. After Migrate, no frame may be
+// left on a stale color list, no old frame may leak, and the page
+// table and color lists must stay disjoint — checked by the auditor
+// after every step of a set → migrate → recolor → migrate sequence.
+func TestMigrateRecolorAudited(t *testing.T) {
+	k := bootKernel(t, kernel.DefaultConfig())
+	m := k.Mapping()
+	task, err := k.NewProcess().NewTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pages = 32
+	va, err := task.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		if _, _, err := task.Translate(va + i*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAudit(t, k)
+
+	// First coloring: two banks on node 0, LLC colors {5, 6}.
+	banksA := m.BankColorsOfNode(0)[2:4]
+	setTaskColors(t, task, banksA, []int{5, 6})
+	if _, err := task.Migrate(va, pages*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	r := mustAudit(t, k)
+	if r.Unaccounted != 0 {
+		t.Fatalf("migration leaked %d frames", r.Unaccounted)
+	}
+	assertMappedMatchColors(t, k, task, va, pages)
+
+	// Recolor: drop the bank constraint entirely and move the LLC
+	// set; migrate again. The frames allocated under the first
+	// coloring go stale and must land back on the color lists
+	// matching their true hash. (Keeping a single bank color here
+	// would shrink the exact-combo pool below the region size —
+	// each (bc, lc) combo owns only frames/(banks*llcs) frames.)
+	for _, bc := range banksA {
+		if _, err := task.Mmap(uint64(bc)|kernel.ClearMemColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lc := range []int{5, 6} {
+		if _, err := task.Mmap(uint64(lc)|kernel.ClearLLCColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setTaskColors(t, task, nil, []int{9})
+	st, err := task.Migrate(va, pages*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moved == 0 {
+		t.Fatal("recolor migration moved nothing")
+	}
+	r = mustAudit(t, k)
+	if r.Unaccounted != 0 {
+		t.Fatalf("recolor migration leaked %d frames", r.Unaccounted)
+	}
+	assertMappedMatchColors(t, k, task, va, pages)
+}
+
+// assertMappedMatchColors checks every resident page of [va, va+n)
+// against the task's current color sets.
+func assertMappedMatchColors(t *testing.T, k *kernel.Kernel, task *kernel.Task, va uint64, pages uint64) {
+	t.Helper()
+	m := k.Mapping()
+	bankSet := map[int]bool{}
+	for _, c := range task.BankColors() {
+		bankSet[c] = true
+	}
+	llcSet := map[int]bool{}
+	for _, c := range task.LLCColors() {
+		llcSet[c] = true
+	}
+	for i := uint64(0); i < pages; i++ {
+		f, ok := task.FrameOfVA(va + i*phys.PageSize)
+		if !ok {
+			t.Fatalf("page %d lost residency", i)
+		}
+		if task.UsingBank() && !bankSet[m.FrameBankColor(f)] {
+			t.Errorf("page %d on bank color %d, want one of %v", i, m.FrameBankColor(f), task.BankColors())
+		}
+		if task.UsingLLC() && !llcSet[m.FrameLLCColor(f)] {
+			t.Errorf("page %d on LLC color %d, want one of %v", i, m.FrameLLCColor(f), task.LLCColors())
+		}
+	}
+}

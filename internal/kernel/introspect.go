@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"sort"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Introspection accessors for the invariant auditor
+// (internal/invariant). They expose read-only views of the kernel's
+// frame bookkeeping — color lists, the colored-frame ownership marks,
+// buddy free blocks, page tables and pcp caches — so tests can
+// cross-check every layer's view of physical memory against the
+// others without reaching into unexported state. None of them are
+// used on simulation hot paths.
+
+// VisitColorLists calls fn for every frame parked on a color list,
+// with the (bank color, LLC color) bucket it is parked under, in
+// deterministic bucket-then-stack order.
+func (k *Kernel) VisitColorLists(fn func(bankColor, llcColor int, f phys.Frame)) {
+	for bc := 0; bc < k.colors.nBank; bc++ {
+		for lc := 0; lc < k.colors.nLLC; lc++ {
+			for _, f := range k.colors.lists[bc][lc] {
+				fn(bc, lc, f)
+			}
+		}
+	}
+}
+
+// VisitZoneFree calls fn for every free buddy block of node n's zone,
+// with head expressed as a global frame number.
+func (k *Kernel) VisitZoneFree(n int, fn func(head phys.Frame, order int)) {
+	base := k.zoneLo[n]
+	k.zones[n].VisitFreeBlocks(func(head phys.Frame, order int) {
+		fn(base+head, order)
+	})
+}
+
+// FrameColored reports whether f is owned by the colored allocator —
+// parked on a color list or handed out through the colored path (such
+// frames rejoin their color list on free, never the buddy).
+func (k *Kernel) FrameColored(f phys.Frame) bool { return k.coloredFrame[f] }
+
+// FrameColors returns the (bank, LLC) color of f from the kernel's
+// dense lookup tables — the values the colored free lists key on.
+func (k *Kernel) FrameColors(f phys.Frame) (bankColor, llcColor int) {
+	return int(k.frameBank[f]), int(k.frameLLC[f])
+}
+
+// Processes returns the kernel's address spaces in creation order.
+func (k *Kernel) Processes() []*Process { return append([]*Process(nil), k.procs...) }
+
+// VisitPages calls fn for every resident page of p in ascending
+// virtual-page order.
+func (p *Process) VisitPages(fn func(vpage uint64, f phys.Frame)) {
+	vps := make([]uint64, 0, len(p.pt))
+	for vp := range p.pt {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	for _, vp := range vps {
+		fn(vp, p.pt[vp])
+	}
+}
+
+// PCPFrames returns a copy of the task's per-CPU page cache (frames
+// pulled from a zone but not yet handed to a fault).
+func (t *Task) PCPFrames() []phys.Frame { return append([]phys.Frame(nil), t.pcp...) }

@@ -70,6 +70,20 @@ func (p Policy) String() string {
 // Colored reports whether the policy issues any color mmaps.
 func (p Policy) Colored() bool { return p != Buddy }
 
+// PrivateBanks reports whether the policy promises every thread a
+// bank-color set disjoint from all other threads'. Under a separable
+// mapping this is a hard guarantee Plan must uphold; the invariant
+// auditor checks it.
+func (p Policy) PrivateBanks() bool {
+	return p == MEMOnly || p == MEMLLC || p == MEMLLCPart || p == BPM
+}
+
+// PrivateLLC reports whether the policy promises every thread an LLC
+// color set disjoint from all other threads'.
+func (p Policy) PrivateLLC() bool {
+	return p == LLCOnly || p == MEMLLC || p == LLCMEMPart || p == BPM
+}
+
 // ParsePolicy maps a paper name back to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	for _, p := range All() {
