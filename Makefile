@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures report sweep fuzz lint clean
+.PHONY: all build test test-short race bench microbench golden figures report sweep fuzz lint clean
 
 all: build lint test
 
@@ -18,8 +18,18 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Benchmark-regression harness: run every experiment at -parallel 1
+# and 8 and write cells/sec + engine ops/sec to BENCH_engine.json.
 bench:
+	$(GO) run ./cmd/tintbench -exp bench -scale 0.1 -repeats 2 -out BENCH_engine.json
+
+microbench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Rewrite the committed output fixtures after an intentional format
+# change (review the diff!).
+golden:
+	$(GO) test ./internal/bench -run TestGolden -update
 
 # Regenerate every paper figure at full scale (slow; see -scale).
 figures:
@@ -34,6 +44,7 @@ sweep:
 
 fuzz:
 	$(GO) test -fuzz=FuzzMmap -fuzztime=30s ./internal/kernel
+	$(GO) test -fuzz=FuzzKernelInterleaving -fuzztime=30s ./internal/kernel
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
 
 # vet plus the repo's own determinism/correctness analyzers

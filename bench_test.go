@@ -54,7 +54,7 @@ func benchConfig(b *testing.B, mach *bench.Machine, name string) bench.Config {
 func BenchmarkLatencyLocalVsRemote(b *testing.B) {
 	mach := benchMachine(b)
 	for i := 0; i < b.N; i++ {
-		r, err := bench.RunLatency(mach, 0, 256)
+		r, err := bench.RunLatency(mach, 0, 256, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,11 +3,16 @@
 // (Fig. 10), the benchmark-suite runtime and idle matrices (Figs. 11
 // and 12) and the per-thread breakdowns (Figs. 13 and 14).
 //
+// Every experiment runs its cells through the deterministic
+// scatter/gather runner, so -parallel only changes wall-clock time:
+// output is byte-identical at any worker count.
+//
 // Usage:
 //
 //	tintbench -exp all                     # everything, paper sizes
 //	tintbench -exp fig11 -scale 0.25 -repeats 3
 //	tintbench -exp fig13 -workload lbm -config 16_threads_4_nodes
+//	tintbench -exp bench -scale 0.1        # perf harness -> BENCH_engine.json
 package main
 
 import (
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|all")
+		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|bench|all")
 		scale      = flag.Float64("scale", 1.0, "working-set scale factor (1.0 = paper-size)")
 		repeats    = flag.Int("repeats", 3, "repetitions per cell (paper used 10)")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -35,21 +40,41 @@ func main() {
 		wlFilter   = flag.String("workloads", "", "comma-separated workload filter for fig11/fig12 (default: all six)")
 		cfgFilter  = flag.String("configs", "", "comma-separated config filter for fig11/fig12 (default: all five)")
 		overlapped = flag.Bool("overlapped", false, "use the paper-faithful overlapped Opteron bit mapping")
-		format     = flag.String("format", "table", "output format: table|csv|chart")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent cells for fig11/fig12 (identical results, faster wall clock)")
+		format     = flag.String("format", "table", "output format: table|csv|chart|json")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent cells per experiment (identical results, faster wall clock)")
 		sweepParam = flag.String("sweep", "hop-cycles", "parameter for -exp sweep: hop-cycles|row-penalty|llc-ways")
 		sweepVals  = flag.String("sweep-values", "0,10,25,50,100", "comma-separated values for -exp sweep")
+		benchOut   = flag.String("out", "BENCH_engine.json", "output file for -exp bench")
+		benchPar   = flag.String("bench-parallel", "1,8", "comma-separated -parallel values the bench harness compares")
 	)
 	flag.Parse()
 
+	memBytes := uint64(*memGiB * (1 << 30))
+	params := workload.Params{Seed: *seed, Scale: *scale}
+
+	switch *format {
+	case "table", "csv", "chart", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	csvOut := *format == "csv"
+	chartOut := *format == "chart"
+	jsonOut := *format == "json"
+
+	if *exp == "bench" {
+		if err := runBenchHarness(os.Stdout, *benchOut, *benchPar, memBytes, params, *repeats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	mach, err := bench.NewMachine(bench.MachineOptions{
-		MemBytes:   uint64(*memGiB * (1 << 30)),
+		MemBytes:   memBytes,
 		Overlapped: *overlapped,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	params := workload.Params{Seed: *seed, Scale: *scale}
 
 	run := func(name string, f func() error) {
 		if *exp != name && !(*exp == "all" && name != "detail" && name != "sweep") {
@@ -61,19 +86,16 @@ func main() {
 		fmt.Println()
 	}
 
-	csvOut := *format == "csv"
-	chartOut := *format == "chart"
-	if *format != "table" && *format != "csv" && *format != "chart" {
-		fatal(fmt.Errorf("unknown format %q", *format))
-	}
-
 	run("latency", func() error {
-		r, err := bench.RunLatency(mach, 0, 512)
+		r, err := bench.RunLatency(mach, 0, 512, *parallel)
 		if err != nil {
 			return err
 		}
-		if csvOut {
+		switch {
+		case csvOut:
 			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
 		}
 		r.WriteTable(os.Stdout)
 		return nil
@@ -88,12 +110,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		r, err := bench.RunDetail(mach, wl, cfg, params, *repeats)
+		r, err := bench.RunDetail(mach, wl, cfg, params, *repeats, *parallel)
 		if err != nil {
 			return err
 		}
-		if csvOut {
+		switch {
+		case csvOut:
 			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
 		}
 		r.WriteTable(os.Stdout)
 		return nil
@@ -104,23 +129,21 @@ func main() {
 		if err != nil {
 			return err
 		}
-		var vals []float64
-		for _, part := range strings.Split(*sweepVals, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				return fmt.Errorf("bad sweep value %q: %w", part, err)
-			}
-			vals = append(vals, v)
-		}
-		r, err := bench.RunSweep(bench.SweepParam(*sweepParam), vals, wl, *cfgName,
-			params, *repeats, uint64(*memGiB*(1<<30)))
+		vals, err := parseFloats(*sweepVals)
 		if err != nil {
 			return err
 		}
-		if csvOut {
-			return r.WriteCSV(os.Stdout)
+		r, err := bench.RunSweep(bench.SweepParam(*sweepParam), vals, wl, *cfgName,
+			params, *repeats, memBytes, *parallel)
+		if err != nil {
+			return err
 		}
-		if chartOut {
+		switch {
+		case csvOut:
+			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
+		case chartOut:
 			r.WriteChart(os.Stdout)
 			return nil
 		}
@@ -133,14 +156,16 @@ func main() {
 		if err != nil {
 			return err
 		}
-		r, err := bench.RunFig10(mach, cfg, params, *repeats)
+		r, err := bench.RunFig10(mach, cfg, params, *repeats, *parallel)
 		if err != nil {
 			return err
 		}
-		if csvOut {
+		switch {
+		case csvOut:
 			return r.WriteCSV(os.Stdout)
-		}
-		if chartOut {
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
+		case chartOut:
 			r.WriteChart(os.Stdout)
 			return nil
 		}
@@ -148,7 +173,7 @@ func main() {
 		return nil
 	})
 
-	suite := func(write func(*bench.SuiteResult)) error {
+	suite := func(write func(*bench.SuiteResult) error) error {
 		loads, err := selectWorkloads(*wlFilter)
 		if err != nil {
 			return err
@@ -161,16 +186,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		write(r)
-		return nil
+		return write(r)
 	}
 	// fig11 and fig12 share the same runs; under -exp all compute once.
-	writeSuite := func(r *bench.SuiteResult, runtime, idle bool) {
+	writeSuite := func(r *bench.SuiteResult, runtime, idle bool) error {
 		if csvOut {
-			if err := r.WriteCSV(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
+			return r.WriteCSV(os.Stdout)
+		}
+		if jsonOut {
+			return r.WriteJSON(os.Stdout)
 		}
 		if runtime {
 			if chartOut {
@@ -189,18 +213,19 @@ func main() {
 				r.WriteIdleTable(os.Stdout)
 			}
 		}
+		return nil
 	}
 	if *exp == "all" {
-		if err := suite(func(r *bench.SuiteResult) { writeSuite(r, true, true) }); err != nil {
+		if err := suite(func(r *bench.SuiteResult) error { return writeSuite(r, true, true) }); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	} else {
 		run("fig11", func() error {
-			return suite(func(r *bench.SuiteResult) { writeSuite(r, true, false) })
+			return suite(func(r *bench.SuiteResult) error { return writeSuite(r, true, false) })
 		})
 		run("fig12", func() error {
-			return suite(func(r *bench.SuiteResult) { writeSuite(r, false, true) })
+			return suite(func(r *bench.SuiteResult) error { return writeSuite(r, false, true) })
 		})
 	}
 
@@ -214,12 +239,15 @@ func main() {
 			return err
 		}
 		pols := []policy.Policy{policy.Buddy, policy.BPM, policy.MEMLLC}
-		r, err := bench.RunPerThread(mach, wl, cfg, pols, params)
+		r, err := bench.RunPerThread(mach, wl, cfg, pols, params, *parallel)
 		if err != nil {
 			return err
 		}
-		if csvOut {
+		switch {
+		case csvOut:
 			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
 		}
 		r.WriteTables(os.Stdout)
 		return nil
@@ -229,6 +257,18 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var vals []float64
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
 }
 
 func selectWorkloads(filter string) ([]workload.Workload, error) {

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+// The benchmark-regression harness behind `tintbench -exp bench` and
+// `make bench`. It runs every experiment at each requested -parallel
+// value on a fresh Machine, measures host wall-clock time (cmd-side
+// only: the simulator itself never reads the wall clock), and writes
+// a JSON report with cells/sec and engine ops/sec per experiment so
+// scheduler or runner regressions show up as a diff in
+// BENCH_engine.json.
+
+type perfRecord struct {
+	Experiment  string  `json:"experiment"`
+	Parallel    int     `json:"parallel"`
+	Cells       int     `json:"cells"`
+	EngineOps   uint64  `json:"engine_ops"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+type perfReport struct {
+	Scale   float64 `json:"scale"`
+	Repeats int     `json:"repeats"`
+	// HostCPUs bounds the achievable speedup: -parallel buys wall
+	// clock only up to the host's core count (results are identical
+	// regardless).
+	HostCPUs int          `json:"host_cpus"`
+	Records  []perfRecord `json:"records"`
+	Overall  []perfRecord `json:"overall"`
+	// SpeedupCellsPerSec compares overall cells/sec at the last
+	// -bench-parallel value against the first.
+	SpeedupCellsPerSec float64 `json:"speedup_cells_per_sec"`
+}
+
+type perfExperiment struct {
+	name string
+	// run executes the experiment with `workers` concurrent cells and
+	// reports how many cells it simulated and the engine ops spent.
+	run func(workers int) (cells int, ops uint64, err error)
+}
+
+func benchExperiments(memBytes uint64, params workload.Params, repeats int) ([]perfExperiment, error) {
+	// Each experiment builds its Machine inside run() so every
+	// (experiment, parallel) pair starts from identical cold state:
+	// the aged-zone prototype cache never carries over between
+	// timings.
+	newMach := func() (*bench.Machine, error) {
+		return bench.NewMachine(bench.MachineOptions{MemBytes: memBytes})
+	}
+	lbm := workload.LBM()
+	return []perfExperiment{
+		{"latency", func(workers int) (int, uint64, error) {
+			mach, err := newMach()
+			if err != nil {
+				return 0, 0, err
+			}
+			r, err := bench.RunLatency(mach, 0, 512, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(r.Rows), 0, nil
+		}},
+		{"fig10", func(workers int) (int, uint64, error) {
+			mach, err := newMach()
+			if err != nil {
+				return 0, 0, err
+			}
+			cfg, err := bench.ConfigByName(mach.Topo, "16_threads_4_nodes")
+			if err != nil {
+				return 0, 0, err
+			}
+			r, err := bench.RunFig10(mach, cfg, params, repeats, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			var ops uint64
+			for _, c := range r.Cells {
+				ops += c.Ops
+			}
+			return len(r.Cells), ops, nil
+		}},
+		{"suite", func(workers int) (int, uint64, error) {
+			mach, err := newMach()
+			if err != nil {
+				return 0, 0, err
+			}
+			loads := workload.StandardSuite()
+			cfgs := bench.Configurations(mach.Topo)
+			r, err := bench.RunSuiteParallel(mach, loads, cfgs, params, repeats, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			cells := len(r.Rows) * (3 + len(bench.BestOtherPolicies()))
+			return cells, r.Ops, nil
+		}},
+		{"perthread", func(workers int) (int, uint64, error) {
+			mach, err := newMach()
+			if err != nil {
+				return 0, 0, err
+			}
+			cfg, err := bench.ConfigByName(mach.Topo, "16_threads_4_nodes")
+			if err != nil {
+				return 0, 0, err
+			}
+			pols := []policy.Policy{policy.Buddy, policy.BPM, policy.MEMLLC}
+			r, err := bench.RunPerThread(mach, lbm, cfg, pols, params, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(r.Policies), r.Ops, nil
+		}},
+		{"detail", func(workers int) (int, uint64, error) {
+			mach, err := newMach()
+			if err != nil {
+				return 0, 0, err
+			}
+			cfg, err := bench.ConfigByName(mach.Topo, "16_threads_4_nodes")
+			if err != nil {
+				return 0, 0, err
+			}
+			r, err := bench.RunDetail(mach, lbm, cfg, params, repeats, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			var ops uint64
+			for _, row := range r.Rows {
+				ops += row.Cell.Ops
+			}
+			return len(r.Rows), ops, nil
+		}},
+		{"sweep", func(workers int) (int, uint64, error) {
+			vals := []float64{0, 25, 50, 100}
+			r, err := bench.RunSweep(bench.SweepHopCycles, vals, lbm,
+				"16_threads_4_nodes", params, repeats, memBytes, workers)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 2 * len(r.Points), r.Ops, nil
+		}},
+	}, nil
+}
+
+func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, params workload.Params, repeats int) error {
+	parVals, err := parseInts(parCSV)
+	if err != nil {
+		return fmt.Errorf("-bench-parallel: %w", err)
+	}
+	if len(parVals) == 0 {
+		return fmt.Errorf("-bench-parallel: no values")
+	}
+	exps, err := benchExperiments(memBytes, params, repeats)
+	if err != nil {
+		return err
+	}
+
+	rep := &perfReport{Scale: params.Scale, Repeats: repeats, HostCPUs: runtime.NumCPU()}
+	fmt.Fprintf(w, "engine benchmark harness (scale %g, repeats %d, host cpus %d)\n",
+		params.Scale, repeats, rep.HostCPUs)
+	fmt.Fprintf(w, "%-10s %9s %7s %12s %9s %11s %13s\n",
+		"experiment", "parallel", "cells", "engine ops", "wall (s)", "cells/sec", "ops/sec")
+	for _, workers := range parVals {
+		var totalCells int
+		var totalOps uint64
+		var totalWall float64
+		for _, e := range exps {
+			start := time.Now()
+			cells, ops, err := e.run(workers)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("%s (parallel %d): %w", e.name, workers, err)
+			}
+			rec := perfRecord{
+				Experiment:  e.name,
+				Parallel:    workers,
+				Cells:       cells,
+				EngineOps:   ops,
+				WallSeconds: wall,
+				CellsPerSec: float64(cells) / wall,
+				OpsPerSec:   float64(ops) / wall,
+			}
+			rep.Records = append(rep.Records, rec)
+			totalCells += cells
+			totalOps += ops
+			totalWall += wall
+			fmt.Fprintf(w, "%-10s %9d %7d %12d %9.3f %11.2f %13.0f\n",
+				rec.Experiment, rec.Parallel, rec.Cells, rec.EngineOps,
+				rec.WallSeconds, rec.CellsPerSec, rec.OpsPerSec)
+		}
+		rep.Overall = append(rep.Overall, perfRecord{
+			Experiment:  "overall",
+			Parallel:    workers,
+			Cells:       totalCells,
+			EngineOps:   totalOps,
+			WallSeconds: totalWall,
+			CellsPerSec: float64(totalCells) / totalWall,
+			OpsPerSec:   float64(totalOps) / totalWall,
+		})
+	}
+
+	first, last := rep.Overall[0], rep.Overall[len(rep.Overall)-1]
+	rep.SpeedupCellsPerSec = last.CellsPerSec / first.CellsPerSec
+	fmt.Fprintf(w, "\noverall: parallel %d -> %d is %.2fx cells/sec (%.3fs -> %.3fs)\n",
+		first.Parallel, last.Parallel, rep.SpeedupCellsPerSec,
+		first.WallSeconds, last.WallSeconds)
+	if rep.HostCPUs == 1 {
+		fmt.Fprintf(w, "note: single-core host — parallel runs cannot beat sequential here; speedup scales with host cores\n")
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var vals []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}

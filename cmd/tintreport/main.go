@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/tintmalloc/tintmalloc/internal/bench"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
@@ -20,10 +21,11 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1.0, "working-set scale factor")
-		repeats = flag.Int("repeats", 1, "repetitions for the Fig. 10 cells")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		memGiB  = flag.Float64("mem", 2, "installed memory in GiB")
+		scale    = flag.Float64("scale", 1.0, "working-set scale factor")
+		repeats  = flag.Int("repeats", 1, "repetitions for the Fig. 10 cells")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		memGiB   = flag.Float64("mem", 2, "installed memory in GiB")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent cells (identical report, faster wall clock)")
 	)
 	flag.Parse()
 
@@ -32,7 +34,7 @@ func main() {
 		fatal(err)
 	}
 	rep, err := bench.RunPaperValidation(mach,
-		workload.Params{Seed: *seed, Scale: *scale}, *repeats, os.Stderr)
+		workload.Params{Seed: *seed, Scale: *scale}, *repeats, *parallel, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}

@@ -104,7 +104,7 @@ func TestMachineBootsThroughPCI(t *testing.T) {
 
 func TestLatencyIncreasesWithHops(t *testing.T) {
 	mach := testMachine(t)
-	r, err := RunLatency(mach, 0, 128)
+	r, err := RunLatency(mach, 0, 128, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestPaperShapeFig10(t *testing.T) {
 		t.Skip("shape test skipped in -short mode")
 	}
 	mach := testMachine(t)
-	r, err := RunFig10(mach, cfg16(t, mach), workload.Params{Seed: 1, Scale: shapeScale}, 1)
+	r, err := RunFig10(mach, cfg16(t, mach), workload.Params{Seed: 1, Scale: shapeScale}, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestPerThreadResultShape(t *testing.T) {
 	}
 	r, err := RunPerThread(mach, workload.Synthetic(), cfg,
 		[]policy.Policy{policy.Buddy, policy.MEMLLC},
-		workload.Params{Seed: 1, Scale: 0.1})
+		workload.Params{Seed: 1, Scale: 0.1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestDetailCoversAllPolicies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunDetail(mach, workload.Synthetic(), cfg, workload.Params{Seed: 1, Scale: 0.1}, 1)
+	r, err := RunDetail(mach, workload.Synthetic(), cfg, workload.Params{Seed: 1, Scale: 0.1}, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestCSVExports(t *testing.T) {
 	}
 	params := workload.Params{Seed: 1, Scale: 0.1}
 
-	lat, err := RunLatency(mach, 0, 64)
+	lat, err := RunLatency(mach, 0, 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("latency CSV has %d lines, want 5 (header+4 nodes)", lines)
 	}
 
-	f10, err := RunFig10(mach, cfg, params, 1)
+	f10, err := RunFig10(mach, cfg, params, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestCSVExports(t *testing.T) {
 	}
 
 	pt, err := RunPerThread(mach, workload.Synthetic(), cfg,
-		[]policy.Policy{policy.Buddy}, params)
+		[]policy.Policy{policy.Buddy}, params, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +421,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("per-thread CSV has %d lines, want 5 (header+4 threads)", lines)
 	}
 
-	det, err := RunDetail(mach, workload.Synthetic(), cfg, params, 1)
+	det, err := RunDetail(mach, workload.Synthetic(), cfg, params, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +459,7 @@ func TestParallelSuiteMatchesSequential(t *testing.T) {
 
 func TestRunSweep(t *testing.T) {
 	r, err := RunSweep(SweepHopCycles, []float64{0, 50}, workload.Synthetic(),
-		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30)
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,11 +482,11 @@ func TestRunSweep(t *testing.T) {
 	}
 	// Unknown parameter and bad values are rejected.
 	if _, err := RunSweep(SweepParam("nope"), []float64{1}, workload.Synthetic(),
-		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30); err == nil {
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30, 1); err == nil {
 		t.Error("RunSweep accepted unknown parameter")
 	}
 	if _, err := RunSweep(SweepLLCWays, []float64{0}, workload.Synthetic(),
-		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30); err == nil {
+		"4_threads_4_nodes", workload.Params{Seed: 1, Scale: 0.1}, 1, 1<<30, 1); err == nil {
 		t.Error("RunSweep accepted 0 LLC ways")
 	}
 }
@@ -498,7 +498,7 @@ func TestChartsRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := workload.Params{Seed: 1, Scale: 0.1}
-	f10, err := RunFig10(mach, cfg, params, 1)
+	f10, err := RunFig10(mach, cfg, params, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,7 +536,7 @@ func TestPaperClaimsValidation(t *testing.T) {
 		t.Skip("claim validation skipped in -short mode")
 	}
 	mach := testMachine(t)
-	rep, err := RunPaperValidation(mach, workload.Params{Seed: 1, Scale: shapeScale}, 1, nil)
+	rep, err := RunPaperValidation(mach, workload.Params{Seed: 1, Scale: shapeScale}, 1, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"github.com/tintmalloc/tintmalloc/internal/clock"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
@@ -25,16 +24,18 @@ type Fig10Result struct {
 	Cells    []Cell // parallel to Policies
 }
 
-// RunFig10 executes the synthetic benchmark under each policy.
-func RunFig10(mach *Machine, cfg Config, params workload.Params, repeats int) (*Fig10Result, error) {
+// RunFig10 executes the synthetic benchmark under each policy, up to
+// `workers` cells concurrently (results are identical at any value).
+func RunFig10(mach *Machine, cfg Config, params workload.Params, repeats, workers int) (*Fig10Result, error) {
 	res := &Fig10Result{Config: cfg, Policies: Fig10Policies()}
-	for _, p := range res.Policies {
-		cell, err := RunRepeated(mach, RunSpec{Workload: workload.Synthetic(), Config: cfg, Policy: p, Params: params}, repeats)
-		if err != nil {
-			return nil, err
-		}
-		res.Cells = append(res.Cells, cell)
+	cells, err := gather(len(res.Policies), workers, func(i int) (Cell, error) {
+		return RunRepeated(mach, RunSpec{Workload: workload.Synthetic(), Config: cfg,
+			Policy: res.Policies[i], Params: params}, repeats)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Cells = cells
 	return res, nil
 }
 
@@ -81,6 +82,10 @@ func (r *SuiteRow) NormIdle(c Cell) float64 {
 // SuiteResult holds the full benchmark matrix behind Figs. 11 and 12.
 type SuiteResult struct {
 	Rows []SuiteRow
+	// Ops counts engine ops across every cell simulated for the
+	// matrix, including the "other best" candidates that lose the
+	// comparison (perf accounting).
+	Ops uint64
 }
 
 // RunSuite executes the benchmark suite across the given
@@ -92,15 +97,12 @@ func RunSuite(mach *Machine, loads []workload.Workload, cfgs []Config,
 }
 
 // RunSuiteParallel is RunSuite with up to `workers` cells simulated
-// concurrently. Every cell builds fully independent machine state,
-// and the aged-zone prototype cache is mutex-guarded, so parallel
-// execution produces bit-identical results to sequential execution —
-// it only uses more host cores.
+// concurrently through the shared scatter/gather runner. Every cell
+// builds fully independent machine state, and the aged-zone prototype
+// cache is mutex-guarded, so parallel execution produces bit-identical
+// results to sequential execution — it only uses more host cores.
 func RunSuiteParallel(mach *Machine, loads []workload.Workload, cfgs []Config,
 	params workload.Params, repeats, workers int) (*SuiteResult, error) {
-	if workers < 1 {
-		workers = 1
-	}
 	type cellJob struct {
 		row, slot int // slot: 0 buddy, 1 BPM, 2 MEMLLC, 3.. others
 		spec      RunSpec
@@ -120,27 +122,22 @@ func RunSuiteParallel(mach *Machine, loads []workload.Workload, cfgs []Config,
 		}
 	}
 
-	cells := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j cellJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cells[i], errs[i] = RunRepeated(mach, j.spec, repeats)
-		}(i, j)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	cells, err := gather(len(jobs), workers, func(i int) (Cell, error) {
+		c, err := RunRepeated(mach, jobs[i].spec, repeats)
 		if err != nil {
-			return nil, fmt.Errorf("bench: cell %s/%s/%s: %w",
+			return c, fmt.Errorf("bench: cell %s/%s/%s: %w",
 				jobs[i].spec.Workload.Name, jobs[i].spec.Config.Name, jobs[i].spec.Policy, err)
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Merge in canonical (index) order: the "other best" winner is a
+	// pure fold over the fixed slot order, so it cannot depend on
+	// which goroutine finished first.
 	for i, j := range jobs {
+		out.Ops += cells[i].Ops
 		row := &out.Rows[j.row]
 		switch j.slot {
 		case 0:
@@ -205,21 +202,27 @@ type PerThreadResult struct {
 	// Policies[i]; Idle likewise.
 	Runtime [][]clock.Dur
 	Idle    [][]clock.Dur
+	// Ops counts engine ops across the policy runs (perf accounting).
+	Ops uint64
 }
 
 // RunPerThread executes one workload/config under the given policies
-// and records per-thread vectors (single run; the paper's per-thread
-// figures are representative runs).
+// — up to `workers` concurrently — and records per-thread vectors
+// (single run; the paper's per-thread figures are representative
+// runs).
 func RunPerThread(mach *Machine, wl workload.Workload, cfg Config,
-	policies []policy.Policy, params workload.Params) (*PerThreadResult, error) {
+	policies []policy.Policy, params workload.Params, workers int) (*PerThreadResult, error) {
 	out := &PerThreadResult{Workload: wl.Name, Config: cfg, Policies: policies}
-	for _, p := range policies {
-		m, err := Run(mach, RunSpec{Workload: wl, Config: cfg, Policy: p, Params: params})
-		if err != nil {
-			return nil, err
-		}
+	ms, err := gather(len(policies), workers, func(i int) (RunMetrics, error) {
+		return Run(mach, RunSpec{Workload: wl, Config: cfg, Policy: policies[i], Params: params})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
 		out.Runtime = append(out.Runtime, m.ThreadRuntime)
 		out.Idle = append(out.Idle, m.ThreadIdle)
+		out.Ops += m.Ops
 	}
 	return out, nil
 }
@@ -299,16 +302,20 @@ type DetailResult struct {
 	Rows     []DetailRow
 }
 
-// RunDetail executes one workload/config under every policy.
+// RunDetail executes one workload/config under every policy, up to
+// `workers` cells concurrently.
 func RunDetail(mach *Machine, wl workload.Workload, cfg Config,
-	params workload.Params, repeats int) (*DetailResult, error) {
+	params workload.Params, repeats, workers int) (*DetailResult, error) {
 	out := &DetailResult{Workload: wl.Name, Config: cfg}
-	for _, p := range policy.All() {
-		cell, err := RunRepeated(mach, RunSpec{Workload: wl, Config: cfg, Policy: p, Params: params}, repeats)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, DetailRow{Policy: p, Cell: cell})
+	pols := policy.All()
+	cells, err := gather(len(pols), workers, func(i int) (Cell, error) {
+		return RunRepeated(mach, RunSpec{Workload: wl, Config: cfg, Policy: pols[i], Params: params}, repeats)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pols {
+		out.Rows = append(out.Rows, DetailRow{Policy: p, Cell: cells[i]})
 	}
 	return out, nil
 }

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/stats"
+)
+
+// JSON exports of every experiment (`tintbench -format json`). The
+// result structs hold workload build functions and cannot be
+// marshaled directly, so each export flattens into a plain view with
+// the same fields as the CSV export, plus simulated-seconds
+// conversions for consumers that do not want to carry clock.Hz
+// around. Field order is fixed by the view structs and map-free, so
+// the output is byte-stable across runs and -parallel values.
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+type summaryJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean_cycles"`
+	Min    float64 `json:"min_cycles"`
+	Max    float64 `json:"max_cycles"`
+	StdDev float64 `json:"stddev_cycles"`
+	MeanS  float64 `json:"mean_seconds"`
+}
+
+func summaryView(s stats.Summary) summaryJSON {
+	return summaryJSON{N: s.N, Mean: s.Mean, Min: s.Min, Max: s.Max,
+		StdDev: s.StdDev, MeanS: clock.Seconds(clock.Dur(s.Mean))}
+}
+
+type cellJSON struct {
+	Policy          string      `json:"policy"`
+	Runtime         summaryJSON `json:"runtime"`
+	Idle            summaryJSON `json:"idle"`
+	Ops             uint64      `json:"engine_ops"`
+	RemoteDRAMFrac  float64     `json:"remote_frac"`
+	L3MissRate      float64     `json:"l3_miss_rate"`
+	RowConflictFrac float64     `json:"row_conflict_frac"`
+}
+
+func cellView(p string, c Cell) cellJSON {
+	return cellJSON{
+		Policy:          p,
+		Runtime:         summaryView(c.Runtime),
+		Idle:            summaryView(c.Idle),
+		Ops:             c.Ops,
+		RemoteDRAMFrac:  c.Last.RemoteDRAMFrac,
+		L3MissRate:      c.Last.L3MissRate,
+		RowConflictFrac: c.Last.RowConflictFrac,
+	}
+}
+
+// WriteJSON exports the latency primer.
+func (r *LatencyResult) WriteJSON(w io.Writer) error {
+	type row struct {
+		Node   int     `json:"node"`
+		Hops   int     `json:"hops"`
+		Cycles float64 `json:"cycles_per_line"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		Core       int    `json:"core"`
+		Rows       []row  `json:"rows"`
+	}{Experiment: "latency", Core: int(r.Core)}
+	for _, lr := range r.Rows {
+		out.Rows = append(out.Rows, row{lr.Node, lr.Hops, lr.Cycles})
+	}
+	return writeJSON(w, out)
+}
+
+// WriteJSON exports the Fig. 10 sweep.
+func (r *Fig10Result) WriteJSON(w io.Writer) error {
+	out := struct {
+		Experiment string     `json:"experiment"`
+		Config     string     `json:"config"`
+		Cells      []cellJSON `json:"cells"`
+	}{Experiment: "fig10", Config: r.Config.Name}
+	for i, p := range r.Policies {
+		out.Cells = append(out.Cells, cellView(p.String(), r.Cells[i]))
+	}
+	return writeJSON(w, out)
+}
+
+// WriteJSON exports the suite matrix behind Figs. 11 and 12.
+func (s *SuiteResult) WriteJSON(w io.Writer) error {
+	type bar struct {
+		cellJSON
+		RuntimeNorm float64 `json:"runtime_norm"`
+		IdleNorm    float64 `json:"idle_norm"`
+	}
+	type row struct {
+		Config   string `json:"config"`
+		Workload string `json:"workload"`
+		Bars     []bar  `json:"bars"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		Ops        uint64 `json:"engine_ops"`
+		Rows       []row  `json:"rows"`
+	}{Experiment: "suite", Ops: s.Ops}
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		jr := row{Config: r.Config, Workload: r.Workload}
+		for _, b := range []struct {
+			name string
+			cell Cell
+		}{
+			{"buddy", r.Buddy},
+			{"BPM", r.BPM},
+			{"MEM+LLC", r.MEMLLC},
+			{r.OtherPolicy.String(), r.Other},
+		} {
+			jr.Bars = append(jr.Bars, bar{
+				cellJSON:    cellView(b.name, b.cell),
+				RuntimeNorm: r.NormRuntime(b.cell),
+				IdleNorm:    r.NormIdle(b.cell),
+			})
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return writeJSON(w, out)
+}
+
+// WriteJSON exports the per-thread vectors behind Figs. 13 and 14.
+func (r *PerThreadResult) WriteJSON(w io.Writer) error {
+	type vec struct {
+		Policy  string   `json:"policy"`
+		Runtime []uint64 `json:"thread_runtime_cycles"`
+		Idle    []uint64 `json:"thread_idle_cycles"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		Workload   string `json:"workload"`
+		Config     string `json:"config"`
+		Ops        uint64 `json:"engine_ops"`
+		Policies   []vec  `json:"policies"`
+	}{Experiment: "perthread", Workload: r.Workload, Config: r.Config.Name, Ops: r.Ops}
+	for i, p := range r.Policies {
+		v := vec{Policy: p.String()}
+		for _, d := range r.Runtime[i] {
+			v.Runtime = append(v.Runtime, uint64(d))
+		}
+		for _, d := range r.Idle[i] {
+			v.Idle = append(v.Idle, uint64(d))
+		}
+		out.Policies = append(out.Policies, v)
+	}
+	return writeJSON(w, out)
+}
+
+// WriteJSON exports the per-policy detail table.
+func (d *DetailResult) WriteJSON(w io.Writer) error {
+	out := struct {
+		Experiment string     `json:"experiment"`
+		Workload   string     `json:"workload"`
+		Config     string     `json:"config"`
+		Cells      []cellJSON `json:"cells"`
+	}{Experiment: "detail", Workload: d.Workload, Config: d.Config.Name}
+	for _, row := range d.Rows {
+		out.Cells = append(out.Cells, cellView(row.Policy.String(), row.Cell))
+	}
+	return writeJSON(w, out)
+}
+
+// WriteJSON exports a sensitivity sweep.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	type point struct {
+		Value     float64     `json:"value"`
+		Buddy     summaryJSON `json:"buddy_runtime"`
+		MEMLLC    summaryJSON `json:"memllc_runtime"`
+		RatioMean float64     `json:"ratio_mean"`
+	}
+	out := struct {
+		Experiment string  `json:"experiment"`
+		Param      string  `json:"param"`
+		Workload   string  `json:"workload"`
+		Config     string  `json:"config"`
+		Ops        uint64  `json:"engine_ops"`
+		Points     []point `json:"points"`
+	}{Experiment: "sweep", Param: string(r.Param), Workload: r.Workload, Config: r.Config.Name, Ops: r.Ops}
+	for _, p := range r.Points {
+		out.Points = append(out.Points, point{
+			Value: p.Value, Buddy: summaryView(p.Buddy),
+			MEMLLC: summaryView(p.MEMLLC), RatioMean: p.RatioMean,
+		})
+	}
+	return writeJSON(w, out)
+}

@@ -28,18 +28,19 @@ type LatencyResult struct {
 
 // RunLatency measures, from one core, the average cold-access latency
 // to each memory node: fresh cache lines, no contention, so the
-// difference is purely the controller distance.
-func RunLatency(mach *Machine, core topology.CoreID, linesPerNode int) (*LatencyResult, error) {
+// difference is purely the controller distance. Nodes are measured as
+// independent scatter/gather jobs, up to `workers` at a time.
+func RunLatency(mach *Machine, core topology.CoreID, linesPerNode, workers int) (*LatencyResult, error) {
 	if linesPerNode <= 0 {
 		linesPerNode = 512
 	}
 	out := &LatencyResult{Core: core}
-	for n := 0; n < mach.Topo.Nodes(); n++ {
+	rows, err := gather(mach.Topo.Nodes(), workers, func(n int) (LatencyRow, error) {
 		// Fresh memory system per node so caches are cold and no
 		// cross-node state leaks.
 		ms, err := mem.New(mach.Topo, mach.Mapping, mach.MemCfg)
 		if err != nil {
-			return nil, err
+			return LatencyRow{}, err
 		}
 		base, limit := mach.Mapping.NodeRange(n)
 		var total uint64
@@ -55,12 +56,16 @@ func RunLatency(mach *Machine, core topology.CoreID, linesPerNode int) (*Latency
 			total += uint64(done) - t
 			t = uint64(done) + 1000 // idle gap: no queueing carryover
 		}
-		out.Rows = append(out.Rows, LatencyRow{
+		return LatencyRow{
 			Node:   n,
 			Hops:   mach.Topo.Hops(core, topology.NodeID(n)),
 			Cycles: float64(total) / float64(linesPerNode),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -40,9 +40,10 @@ func (v *ValidationReport) Passed() int {
 }
 
 // RunPaperValidation executes the experiments backing every graded
-// claim. scale trades fidelity for speed (1.0 = paper size; the
-// claims hold from ~0.4 upward).
-func RunPaperValidation(mach *Machine, params workload.Params, repeats int, w io.Writer) (*ValidationReport, error) {
+// claim, running up to `workers` independent cells concurrently
+// (byte-identical grading at any value). scale trades fidelity for
+// speed (1.0 = paper size; the claims hold from ~0.4 upward).
+func RunPaperValidation(mach *Machine, params workload.Params, repeats, workers int, w io.Writer) (*ValidationReport, error) {
 	progress := func(format string, args ...any) {
 		if w != nil {
 			fmt.Fprintf(w, format, args...)
@@ -66,7 +67,7 @@ func RunPaperValidation(mach *Machine, params workload.Params, repeats int, w io
 
 	// Claim 1: local controller latency is much lower than remote.
 	progress("measuring latency primer...\n")
-	lat, err := RunLatency(mach, 0, 256)
+	lat, err := RunLatency(mach, 0, 256, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func RunPaperValidation(mach *Machine, params workload.Params, repeats int, w io
 	// Claim 2: synthetic benchmark — MEM, LLC and MEM/LLC coloring
 	// all reduce execution time, MEM/LLC the most.
 	progress("running Fig. 10 synthetic sweep...\n")
-	f10, err := RunFig10(mach, cfg16, params, repeats)
+	f10, err := RunFig10(mach, cfg16, params, repeats, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -100,32 +101,24 @@ func RunPaperValidation(mach *Machine, params workload.Params, repeats int, w io
 			buddy, runtimes[policy.LLCOnly], runtimes[policy.MEMOnly], runtimes[policy.MEMLLC]),
 		pass)
 
-	// Claims 3-6 need the headline cell and the small configuration.
+	// Claims 3-6 need the headline cell and the small configuration —
+	// five independent cells, gathered concurrently.
 	progress("running lbm cells (16_threads_4_nodes, 4_threads_1_nodes)...\n")
 	lbm := workload.LBM()
-	runCell := func(cfg Config, p policy.Policy) (RunMetrics, error) {
-		return Run(mach, RunSpec{Workload: lbm, Config: cfg, Policy: p, Params: params})
+	lbmSpecs := []RunSpec{
+		{Workload: lbm, Config: cfg16, Policy: policy.Buddy, Params: params},
+		{Workload: lbm, Config: cfg16, Policy: policy.MEMLLC, Params: params},
+		{Workload: lbm, Config: cfg16, Policy: policy.BPM, Params: params},
+		{Workload: lbm, Config: cfg4, Policy: policy.Buddy, Params: params},
+		{Workload: lbm, Config: cfg4, Policy: policy.MEMLLC, Params: params},
 	}
-	b16, err := runCell(cfg16, policy.Buddy)
+	lbmCells, err := gather(len(lbmSpecs), workers, func(i int) (RunMetrics, error) {
+		return Run(mach, lbmSpecs[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	c16, err := runCell(cfg16, policy.MEMLLC)
-	if err != nil {
-		return nil, err
-	}
-	p16, err := runCell(cfg16, policy.BPM)
-	if err != nil {
-		return nil, err
-	}
-	b4, err := runCell(cfg4, policy.Buddy)
-	if err != nil {
-		return nil, err
-	}
-	c4, err := runCell(cfg4, policy.MEMLLC)
-	if err != nil {
-		return nil, err
-	}
+	b16, c16, p16, b4, c4 := lbmCells[0], lbmCells[1], lbmCells[2], lbmCells[3], lbmCells[4]
 
 	ratio16 := float64(c16.Runtime) / float64(b16.Runtime)
 	add("lbm-runtime",
@@ -172,14 +165,17 @@ func RunPaperValidation(mach *Machine, params workload.Params, repeats int, w io
 
 	// Claim: blackscholes shows the least improvement of the six.
 	progress("running blackscholes cells...\n")
-	bsBuddy, err := Run(mach, RunSpec{Workload: workload.Blackscholes(), Config: cfg16, Policy: policy.Buddy, Params: params})
+	bsSpecs := []RunSpec{
+		{Workload: workload.Blackscholes(), Config: cfg16, Policy: policy.Buddy, Params: params},
+		{Workload: workload.Blackscholes(), Config: cfg16, Policy: policy.MEMLLC, Params: params},
+	}
+	bsCells, err := gather(len(bsSpecs), workers, func(i int) (RunMetrics, error) {
+		return Run(mach, bsSpecs[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	bsColored, err := Run(mach, RunSpec{Workload: workload.Blackscholes(), Config: cfg16, Policy: policy.MEMLLC, Params: params})
-	if err != nil {
-		return nil, err
-	}
+	bsBuddy, bsColored := bsCells[0], bsCells[1]
 	bsGain := 1 - float64(bsColored.Runtime)/float64(bsBuddy.Runtime)
 	add("blackscholes",
 		"Parsec/blackscholes has the least performance improvement of the six benchmarks (Sec. V-B)",

@@ -32,6 +32,7 @@ type RunMetrics struct {
 	ThreadRuntime []clock.Dur
 	ThreadIdle    []clock.Dur
 	FaultCycles   clock.Dur // summed over threads
+	Ops           uint64    // engine ops executed (perf accounting)
 	// Memory-system ratios (0..1).
 	RemoteDRAMFrac  float64 // remote / all DRAM demand reads
 	L3MissRate      float64
@@ -83,6 +84,7 @@ func Run(mach *Machine, spec RunSpec) (RunMetrics, error) {
 	out.TotalIdle = res.TotalIdle
 	out.ThreadRuntime = res.ThreadRuntime
 	out.ThreadIdle = res.ThreadIdle
+	out.Ops = res.Ops
 	for _, f := range res.FaultCycles {
 		out.FaultCycles += f
 	}
@@ -107,6 +109,9 @@ type Cell struct {
 	Spec    RunSpec
 	Runtime stats.Summary
 	Idle    stats.Summary
+	// Ops is the engine-op total across the repetitions, the work
+	// unit behind the benchmark harness's ops/sec figures.
+	Ops uint64
 	// Last holds the final repetition's full metrics (per-thread
 	// vectors, memory ratios).
 	Last RunMetrics
@@ -130,6 +135,7 @@ func RunRepeated(mach *Machine, spec RunSpec, repeats int) (Cell, error) {
 		}
 		runtimes = append(runtimes, float64(m.Runtime))
 		idles = append(idles, float64(m.TotalIdle))
+		cell.Ops += m.Ops
 		cell.Last = m
 	}
 	cell.Runtime = stats.Summarize(runtimes)

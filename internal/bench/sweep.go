@@ -50,19 +50,28 @@ type SweepResult struct {
 	Workload string
 	Config   Config
 	Points   []SweepPoint
+	// Ops counts engine ops across every sweep cell (perf accounting).
+	Ops uint64
 }
 
 // RunSweep measures the MEM+LLC/buddy runtime ratio of one workload
-// at each value of the chosen parameter. Machine state is rebuilt
-// per point; everything else (memory size, aging, workload seed)
-// stays fixed.
+// at each value of the chosen parameter, running up to `workers`
+// cells concurrently. Machine state is rebuilt per point; everything
+// else (memory size, aging, workload seed) stays fixed. Each (point,
+// policy) cell is an independent scatter/gather job against its
+// point's machine, so the sweep parallelizes without changing a byte
+// of output.
 func RunSweep(param SweepParam, values []float64, wl workload.Workload, cfgName string,
-	params workload.Params, repeats int, memBytes uint64) (*SweepResult, error) {
+	params workload.Params, repeats int, memBytes uint64, workers int) (*SweepResult, error) {
 	if memBytes == 0 {
 		memBytes = DefaultMemBytes
 	}
+	// Machine descriptions are cheap to build (the expensive aged-zone
+	// prototypes materialize lazily, per machine, under its own
+	// mutex); validate every sweep value before any cell runs.
+	machines := make([]*Machine, len(values))
 	var out *SweepResult
-	for _, v := range values {
+	for i, v := range values {
 		mach, err := NewMachine(MachineOptions{MemBytes: memBytes})
 		if err != nil {
 			return nil, err
@@ -77,14 +86,19 @@ func RunSweep(param SweepParam, values []float64, wl workload.Workload, cfgName 
 		if out == nil {
 			out = &SweepResult{Param: param, Workload: wl.Name, Config: cfg}
 		}
-		buddy, err := RunRepeated(mach, RunSpec{Workload: wl, Config: cfg, Policy: policy.Buddy, Params: params}, repeats)
-		if err != nil {
-			return nil, err
-		}
-		colored, err := RunRepeated(mach, RunSpec{Workload: wl, Config: cfg, Policy: policy.MEMLLC, Params: params}, repeats)
-		if err != nil {
-			return nil, err
-		}
+		machines[i] = mach
+	}
+	pols := []policy.Policy{policy.Buddy, policy.MEMLLC}
+	cells, err := gather(len(values)*len(pols), workers, func(i int) (Cell, error) {
+		pt, p := i/len(pols), pols[i%len(pols)]
+		return RunRepeated(machines[pt], RunSpec{Workload: wl, Config: out.Config, Policy: p, Params: params}, repeats)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range values {
+		buddy, colored := cells[i*len(pols)], cells[i*len(pols)+1]
+		out.Ops += buddy.Ops + colored.Ops
 		out.Points = append(out.Points, SweepPoint{
 			Value:     v,
 			Buddy:     buddy.Runtime,

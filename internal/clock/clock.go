@@ -10,6 +10,14 @@ type Time uint64
 // Dur is a span of simulated core cycles.
 type Dur = Time
 
+// Hz is the simulated core frequency: the paper's Opteron 6128 runs
+// at 2 GHz, so 1 cycle = 0.5 ns. Only reporting layers convert —
+// the simulator itself computes exclusively in cycles.
+const Hz = 2_000_000_000
+
+// Seconds converts a cycle count to simulated seconds at Hz.
+func Seconds(d Dur) float64 { return float64(d) / Hz }
+
 // Max returns the later of two instants.
 func Max(a, b Time) Time {
 	if a > b {

@@ -107,7 +107,11 @@ type Result struct {
 	// FaultCycles[i] is the simulated time thread i spent in page
 	// faults (included in its runtime).
 	FaultCycles []clock.Dur
-	Phases      []PhaseResult
+	// Ops is the number of thread operations executed across all
+	// phases (compute steps and memory accesses), the work unit
+	// behind the benchmark harness's ops/sec figures.
+	Ops    uint64
+	Phases []PhaseResult
 }
 
 // MaxThreadRuntime returns the slowest thread's parallel-phase time.
@@ -180,13 +184,16 @@ func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 // build tags — and is never set outside tests.
 func (e *Engine) SetAuditHook(h func() error) { e.audit = h }
 
-// maxOps guards against runaway thread bodies (an infinite yield
-// loop would otherwise hang the simulation silently). Overridable
-// through SetOpBudget for genuinely enormous runs.
+// defaultOpBudget guards against runaway thread bodies (an infinite
+// yield loop would otherwise hang the simulation silently).
+// Overridable through SetOpBudget for genuinely enormous runs.
 var defaultOpBudget uint64 = 1 << 33
 
-// SetOpBudget caps the total ops a single phase may execute (0
-// restores the default of 2^33).
+// SetOpBudget caps the ops a single thread may execute within one
+// phase (0 restores the default of 2^33). The budget is per thread,
+// not per phase: a phase with many threads each under the budget is
+// fine, and only a genuinely runaway body — one thread yielding more
+// than the budget — trips it.
 func (e *Engine) SetOpBudget(n uint64) {
 	if n == 0 {
 		n = defaultOpBudget
@@ -220,6 +227,7 @@ func (e *Engine) Now() clock.Time { return e.now }
 type runnerState struct {
 	id   int
 	time clock.Time
+	ops  uint64 // ops this thread executed in the current phase
 	next func() (Op, bool)
 	stop func()
 }
@@ -295,30 +303,27 @@ func (e *Engine) runPhase(ph Phase, res *Result, barrier bool) (PhaseResult, err
 		}
 	}()
 
+	// The conservative discrete-event loop: always step the earliest
+	// thread (ties by id). The indexed min-heap makes each step
+	// O(log n); because (time, id) is a strict total order it selects
+	// exactly the thread the former linear scan did.
+	q := newEventQueue(append([]*runnerState(nil), live...))
 	var runErr error
-	var ops uint64
-	for len(live) > 0 && runErr == nil {
-		if ops++; ops > e.opBudget {
-			runErr = fmt.Errorf("op budget of %d exceeded (runaway thread body?)", e.opBudget)
+	for q.Len() > 0 && runErr == nil {
+		r := q.Min()
+		if r.ops++; r.ops > e.opBudget {
+			runErr = fmt.Errorf("thread %d exceeded the per-thread op budget of %d (runaway thread body?)",
+				r.id, e.opBudget)
 			break
 		}
-		// Pick the earliest thread (ties by id) — a conservative
-		// discrete-event step.
-		sel := 0
-		for i := 1; i < len(live); i++ {
-			if live[i].time < live[sel].time ||
-				(live[i].time == live[sel].time && live[i].id < live[sel].id) {
-				sel = i
-			}
-		}
-		r := live[sel]
 		op, ok := r.next()
 		if !ok {
 			pr.ThreadEnd[r.id] = r.time
 			r.stop()
-			live = append(live[:sel], live[sel+1:]...)
+			q.PopMin()
 			continue
 		}
+		res.Ops++
 		r.time += op.Compute
 		if op.VA != 0 {
 			th := e.threads[r.id]
@@ -342,6 +347,7 @@ func (e *Engine) runPhase(ph Phase, res *Result, barrier bool) (PhaseResult, err
 				})
 			}
 		}
+		q.FixMin()
 	}
 
 	end := start

@@ -1,0 +1,75 @@
+package engine
+
+// eventQueue is a binary min-heap over the live threads of a phase,
+// ordered by (virtual time, thread id). It replaces the linear
+// earliest-thread scan of the conservative discrete-event loop: with
+// n live threads a scheduling step costs O(log n) instead of O(n),
+// which is what makes many-thread phases (and paper-scale sweeps)
+// wall-clock viable.
+//
+// The ordering key is a strict total order — thread ids are unique —
+// so the heap's minimum is exactly the thread the linear scan would
+// have picked, and the two schedulers are step-for-step identical.
+// The determinism regression test (internal/bench
+// TestRunsAreByteIdentical) and the engine's scheduler-equivalence
+// test pin this down.
+type eventQueue struct {
+	rs []*runnerState
+}
+
+// newEventQueue heapifies the given runners in place.
+func newEventQueue(rs []*runnerState) *eventQueue {
+	q := &eventQueue{rs: rs}
+	for i := len(rs)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	return q
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.rs[i], q.rs[j]
+	return a.time < b.time || (a.time == b.time && a.id < b.id)
+}
+
+// Len returns the number of live threads.
+func (q *eventQueue) Len() int { return len(q.rs) }
+
+// Min returns the earliest thread (ties broken by lowest id) without
+// removing it.
+func (q *eventQueue) Min() *runnerState { return q.rs[0] }
+
+// FixMin restores heap order after the minimum's time advanced (the
+// only mutation the event loop performs on a live thread).
+func (q *eventQueue) FixMin() { q.siftDown(0) }
+
+// PopMin removes and returns the earliest thread.
+func (q *eventQueue) PopMin() *runnerState {
+	r := q.rs[0]
+	last := len(q.rs) - 1
+	q.rs[0] = q.rs[last]
+	q.rs[last] = nil
+	q.rs = q.rs[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return r
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.rs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.rs[i], q.rs[min] = q.rs[min], q.rs[i]
+		i = min
+	}
+}

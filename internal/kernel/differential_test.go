@@ -1,0 +1,381 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// Differential property test: random alloc/free/recolor sequences run
+// against the real kernel while a naive reference model tracks what
+// frame ownership must look like. The model never re-implements
+// allocation policy — it learns each frame at fault time and then
+// holds the kernel to the simple invariants any correct kernel obeys:
+// a resident page keeps its frame until munmap or migration, no two
+// pages share a frame, freed regions vanish exactly, and colored
+// tasks receive frames of their colors. Sequences are seeded; on
+// failure the op log is shrunk by greedy removal-and-replay and the
+// minimal reproducer is printed.
+
+const (
+	opMmap = iota
+	opTouch
+	opMunmap
+	opSetBank
+	opClearBank
+	opSetLLC
+	opClearLLC
+	opMigrate
+)
+
+var opNames = map[int]string{
+	opMmap: "mmap", opTouch: "touch", opMunmap: "munmap",
+	opSetBank: "set-bank", opClearBank: "clear-bank",
+	opSetLLC: "set-llc", opClearLLC: "clear-llc", opMigrate: "migrate",
+}
+
+type kop struct {
+	kind int
+	task int // task selector
+	arg  int // pages for mmap; region selector; color selector
+	page int // page selector for touch
+}
+
+func (o kop) String() string {
+	return fmt.Sprintf("{%s task=%d arg=%d page=%d}", opNames[o.kind], o.task, o.arg, o.page)
+}
+
+func formatOps(ops []kop) string {
+	var sb strings.Builder
+	for i, o := range ops {
+		fmt.Fprintf(&sb, "  %3d: %v\n", i, o)
+	}
+	return sb.String()
+}
+
+// mRegion is the model's view of one live mapping.
+type mRegion struct {
+	proc   int
+	base   uint64
+	pages  int
+	frames map[int]phys.Frame // page index -> frame learned at fault
+}
+
+type pageRef struct {
+	reg  *mRegion
+	page int
+}
+
+type diffHarness struct {
+	k       *kernel.Kernel
+	procs   []*kernel.Process
+	tasks   []*kernel.Task
+	tproc   []int // task index -> process index
+	regions []*mRegion
+	owner   map[phys.Frame]pageRef
+}
+
+func newDiffHarness() (*diffHarness, error) {
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(256<<20, top.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(top, m, kernel.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	h := &diffHarness{k: k, owner: map[phys.Frame]pageRef{}}
+	// Two processes, three tasks: two sharing an address space on
+	// different nodes plus one isolated, so cross-task and cross-
+	// process ownership are both exercised.
+	p0, p1 := k.NewProcess(), k.NewProcess()
+	h.procs = []*kernel.Process{p0, p1}
+	for _, tc := range []struct {
+		p    int
+		core topology.CoreID
+	}{{0, 0}, {0, 5}, {1, 10}} {
+		task, err := h.procs[tc.p].NewTask(tc.core)
+		if err != nil {
+			return nil, err
+		}
+		h.tasks = append(h.tasks, task)
+		h.tproc = append(h.tproc, tc.p)
+	}
+	return h, nil
+}
+
+// procRegions returns the live regions of the given process, in
+// creation order.
+func (h *diffHarness) procRegions(proc int) []*mRegion {
+	var out []*mRegion
+	for _, r := range h.regions {
+		if r.proc == proc {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (h *diffHarness) dropRegion(reg *mRegion) {
+	for i, r := range h.regions {
+		if r == reg {
+			h.regions = append(h.regions[:i], h.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+// claimFrame records that (reg, page) now owns f, failing on aliasing
+// and (for colored tasks) color mismatch.
+func (h *diffHarness) claimFrame(task *kernel.Task, reg *mRegion, page int, f phys.Frame) error {
+	if prev, taken := h.owner[f]; taken {
+		return fmt.Errorf("frame %d double-owned: page %d of region %#x and page %d of region %#x",
+			f, page, reg.base, prev.page, prev.reg.base)
+	}
+	if h.k.FrameColored(f) {
+		bc, lc := h.k.FrameColors(f)
+		if task.UsingBank() && !containsInt(task.BankColors(), bc) {
+			return fmt.Errorf("frame %d has bank color %d, task owns %v", f, bc, task.BankColors())
+		}
+		if task.UsingLLC() && !containsInt(task.LLCColors(), lc) {
+			return fmt.Errorf("frame %d has LLC color %d, task owns %v", f, lc, task.LLCColors())
+		}
+	}
+	reg.frames[page] = f
+	h.owner[f] = pageRef{reg, page}
+	return nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *diffHarness) apply(o kop) error {
+	task := h.tasks[o.task%len(h.tasks)]
+	proc := h.tproc[o.task%len(h.tasks)]
+	switch o.kind {
+	case opMmap:
+		pages := 1 + o.arg%16
+		base, err := task.Mmap(0, uint64(pages)*phys.PageSize, 0)
+		if err != nil {
+			return fmt.Errorf("mmap: %w", err)
+		}
+		if base%phys.PageSize != 0 {
+			return fmt.Errorf("mmap returned unaligned base %#x", base)
+		}
+		for _, r := range h.procRegions(proc) {
+			if base < r.base+uint64(r.pages)*phys.PageSize && r.base < base+uint64(pages)*phys.PageSize {
+				return fmt.Errorf("mmap region [%#x,+%d) overlaps [%#x,+%d)", base, pages, r.base, r.pages)
+			}
+		}
+		h.regions = append(h.regions, &mRegion{proc: proc, base: base, pages: pages, frames: map[int]phys.Frame{}})
+
+	case opTouch:
+		regs := h.procRegions(proc)
+		if len(regs) == 0 {
+			return nil
+		}
+		reg := regs[o.arg%len(regs)]
+		page := o.page % reg.pages
+		va := reg.base + uint64(page)*phys.PageSize
+		pa, cost, err := task.Translate(va)
+		if err != nil {
+			return fmt.Errorf("translate %#x: %w", va, err)
+		}
+		f, ok := task.FrameOfVA(va)
+		if !ok {
+			return fmt.Errorf("translate %#x succeeded but page not resident", va)
+		}
+		if pa < f.Base() || pa >= f.Base()+phys.PageSize {
+			return fmt.Errorf("translate %#x returned %#x outside frame %d", va, pa, f)
+		}
+		if prev, touched := reg.frames[page]; touched {
+			if f != prev {
+				return fmt.Errorf("resident page %#x moved from frame %d to %d without migration", va, prev, f)
+			}
+			if cost != 0 {
+				return fmt.Errorf("re-touch of resident page %#x charged fault cost %d", va, cost)
+			}
+			return nil
+		}
+		return h.claimFrame(task, reg, page, f)
+
+	case opMunmap:
+		regs := h.procRegions(proc)
+		if len(regs) == 0 {
+			return nil
+		}
+		reg := regs[o.arg%len(regs)]
+		if err := task.Munmap(reg.base, uint64(reg.pages)*phys.PageSize); err != nil {
+			return fmt.Errorf("munmap [%#x,+%d): %w", reg.base, reg.pages, err)
+		}
+		for page, f := range reg.frames {
+			va := reg.base + uint64(page)*phys.PageSize
+			if task.Resident(va) {
+				return fmt.Errorf("page %#x still resident after munmap", va)
+			}
+			delete(h.owner, f)
+		}
+		h.dropRegion(reg)
+
+	case opSetBank, opClearBank, opSetLLC, opClearLLC:
+		m := h.k.Mapping()
+		var arg uint64
+		switch o.kind {
+		case opSetBank:
+			arg = uint64(o.arg%m.NumBankColors()) | kernel.SetMemColor
+		case opClearBank:
+			arg = uint64(o.arg%m.NumBankColors()) | kernel.ClearMemColor
+		case opSetLLC:
+			arg = uint64(o.arg%m.NumLLCColors()) | kernel.SetLLCColor
+		case opClearLLC:
+			arg = uint64(o.arg%m.NumLLCColors()) | kernel.ClearLLCColor
+		}
+		if _, err := task.Mmap(arg, 0, kernel.ColorAlloc); err != nil {
+			return fmt.Errorf("color op %#x: %w", arg, err)
+		}
+
+	case opMigrate:
+		regs := h.procRegions(proc)
+		if len(regs) == 0 {
+			return nil
+		}
+		reg := regs[o.arg%len(regs)]
+		st, err := task.Migrate(reg.base, uint64(reg.pages)*phys.PageSize)
+		if !task.UsingBank() && !task.UsingLLC() {
+			if err == nil {
+				return fmt.Errorf("migrate with no colors selected succeeded")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("migrate [%#x,+%d): %w", reg.base, reg.pages, err)
+		}
+		if st.Scanned != len(reg.frames) {
+			return fmt.Errorf("migrate scanned %d pages, model has %d resident", st.Scanned, len(reg.frames))
+		}
+		if st.Moved+st.AlreadyOK != st.Scanned {
+			return fmt.Errorf("migrate stats inconsistent: %+v", st)
+		}
+		// Re-learn frames: migration may replace any of them.
+		for page, f := range reg.frames {
+			delete(h.owner, f)
+			delete(reg.frames, page)
+			va := reg.base + uint64(page)*phys.PageSize
+			nf, ok := task.FrameOfVA(va)
+			if !ok {
+				return fmt.Errorf("page %#x lost residency during migration", va)
+			}
+			if err := h.claimFrame(task, reg, page, nf); err != nil {
+				return fmt.Errorf("after migrate: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// checkOwnership compares the kernel's page tables against the model,
+// both directions, and runs the invariant auditor.
+func (h *diffHarness) checkOwnership() error {
+	for pi, proc := range h.procs {
+		got := map[uint64]phys.Frame{}
+		proc.VisitPages(func(vpage uint64, f phys.Frame) { got[vpage] = f })
+		want := map[uint64]phys.Frame{}
+		for _, reg := range h.procRegions(pi) {
+			for page, f := range reg.frames {
+				want[reg.base>>phys.PageShift+uint64(page)] = f
+			}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("process %d maps %d pages, model expects %d", pi, len(got), len(want))
+		}
+		for vp, f := range want {
+			if got[vp] != f {
+				return fmt.Errorf("process %d vpage %#x: kernel has frame %d, model has %d", pi, vp, got[vp], f)
+			}
+		}
+	}
+	if err := invariant.Audit(h.k).Err(); err != nil {
+		return fmt.Errorf("invariant audit: %w", err)
+	}
+	return nil
+}
+
+// runDiffOps replays an op log on a fresh kernel, checking after
+// every op (ownership sweeps every 16 ops and at the end).
+func runDiffOps(ops []kop) error {
+	h, err := newDiffHarness()
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	for i, o := range ops {
+		if err := h.apply(o); err != nil {
+			return fmt.Errorf("op %d %v: %w", i, o, err)
+		}
+		if (i+1)%16 == 0 {
+			if err := h.checkOwnership(); err != nil {
+				return fmt.Errorf("after op %d %v: %w", i, o, err)
+			}
+		}
+	}
+	return h.checkOwnership()
+}
+
+// shrinkOps greedily removes ops while the log still fails, replaying
+// from scratch each time.
+func shrinkOps(ops []kop) []kop {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			cand := append(append([]kop(nil), ops[:i]...), ops[i+1:]...)
+			if runDiffOps(cand) != nil {
+				ops = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return ops
+}
+
+func TestKernelDifferentialModel(t *testing.T) {
+	// Touch-heavy mix so ownership state actually builds up between
+	// the structural ops.
+	kinds := []int{
+		opMmap, opMmap, opTouch, opTouch, opTouch, opTouch, opTouch,
+		opMunmap, opSetBank, opClearBank, opSetLLC, opClearLLC, opMigrate,
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]kop, 0, 400)
+			for i := 0; i < 400; i++ {
+				ops = append(ops, kop{
+					kind: kinds[rng.Intn(len(kinds))],
+					task: rng.Intn(3),
+					arg:  rng.Intn(1 << 16),
+					page: rng.Intn(1 << 16),
+				})
+			}
+			if err := runDiffOps(ops); err != nil {
+				minimal := shrinkOps(ops)
+				t.Fatalf("kernel diverged from reference model: %v\nminimal op log (%d ops):\n%s",
+					runDiffOps(minimal), len(minimal), formatOps(minimal))
+			}
+		})
+	}
+}
