@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench microbench golden figures report sweep fuzz lint clean
+.PHONY: all build test test-short race bench microbench profile golden figures report sweep fuzz lint clean
 
 all: build lint test
 
@@ -24,7 +24,14 @@ bench:
 	$(GO) run ./cmd/tintbench -exp bench -scale 0.1 -repeats 2 -out BENCH_engine.json
 
 microbench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/phys ./internal/cache ./internal/mem ./internal/kernel
+
+# CPU+heap profile of the suite experiment (the hot path behind every
+# figure). Inspect with `go tool pprof cpu.prof`; see CONTRIBUTING.md.
+profile:
+	$(GO) run ./cmd/tintbench -exp fig11 -scale 0.1 -repeats 2 -parallel 1 -format csv \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # Rewrite the committed output fixtures after an intentional format
 # change (review the diff!).

@@ -45,6 +45,24 @@ type perfReport struct {
 	// SpeedupCellsPerSec compares overall cells/sec at the last
 	// -bench-parallel value against the first.
 	SpeedupCellsPerSec float64 `json:"speedup_cells_per_sec"`
+	// Baseline carries the records of the report the output file
+	// previously held, so a regenerated BENCH_engine.json documents
+	// its own before/after comparison (one generation back).
+	Baseline []perfRecord `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is suite ops/sec at the first -bench-parallel
+	// value divided by the same cell of Baseline (0 when no baseline).
+	// Only comparable when both runs used the same host; see HostCPUs.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// findRecord returns the record for (experiment, parallel), or nil.
+func findRecord(recs []perfRecord, experiment string, parallel int) *perfRecord {
+	for i := range recs {
+		if recs[i].Experiment == experiment && recs[i].Parallel == parallel {
+			return &recs[i]
+		}
+	}
+	return nil
 }
 
 type perfExperiment struct {
@@ -219,6 +237,23 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, param
 		first.WallSeconds, last.WallSeconds)
 	if rep.HostCPUs == 1 {
 		fmt.Fprintf(w, "note: single-core host — parallel runs cannot beat sequential here; speedup scales with host cores\n")
+	}
+
+	// Fold the previous report (if the output file holds one) in as
+	// the baseline, and report the suite before/after at the first
+	// -bench-parallel value — the engine-throughput regression gate.
+	if data, err := os.ReadFile(outPath); err == nil {
+		var prev perfReport
+		if json.Unmarshal(data, &prev) == nil && len(prev.Records) > 0 {
+			rep.Baseline = prev.Records
+			before := findRecord(prev.Records, "suite", parVals[0])
+			after := findRecord(rep.Records, "suite", parVals[0])
+			if before != nil && after != nil && before.OpsPerSec > 0 {
+				rep.SpeedupVsBaseline = after.OpsPerSec / before.OpsPerSec
+				fmt.Fprintf(w, "vs previous %s: suite -parallel %d ops/sec %.0f -> %.0f (%.2fx)\n",
+					outPath, parVals[0], before.OpsPerSec, after.OpsPerSec, rep.SpeedupVsBaseline)
+			}
+		}
 	}
 
 	f, err := os.Create(outPath)

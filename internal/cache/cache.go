@@ -44,12 +44,6 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
-
 // Result reports the outcome of one access.
 type Result struct {
 	Hit          bool
@@ -58,14 +52,34 @@ type Result struct {
 	EvictedDirty bool
 }
 
+// tagInvalid marks an empty way. Real tags are physical line numbers
+// right-shifted by the set count, so they can never reach 2^64-1 on
+// any mappable address space.
+const tagInvalid = ^uint64(0)
+
+// way is one cache way: its tag plus the replacement stamp
+// stamp == tick<<1 | dirty, where tick is a per-cache monotonic
+// access counter (stamp 0 means invalid — paired with tagInvalid so
+// the hit scan needs no separate validity check). Ticks are unique,
+// so the minimum stamp in a set identifies the exact LRU way and
+// invalid ways (stamp 0) are always victimized first — the same
+// victim an MRU-ordered list produces, without moving any memory on
+// a hit.
+type way struct {
+	tag   uint64
+	stamp uint64
+}
+
 // Cache is a single set-associative level.
 type Cache struct {
 	cfg      Config
 	setShift uint // log2(sets)
 	setMask  uint64
 	ways     int
-	// lines[set*ways : (set+1)*ways] ordered MRU first.
-	lines []line
+	tick     uint64 // monotonic access counter (starts at 1)
+	// lines[set*ways : (set+1)*ways] holds the ways of one set; way
+	// order within a set is arbitrary (recency lives in the stamps).
+	lines []way
 	stats Stats
 }
 
@@ -83,12 +97,16 @@ func New(cfg Config) (*Cache, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
 	}
+	lines := make([]way, sets*uint64(cfg.Ways))
+	for i := range lines {
+		lines[i].tag = tagInvalid
+	}
 	return &Cache{
 		cfg:      cfg,
 		setShift: uint(bits.TrailingZeros64(sets)),
 		setMask:  sets - 1,
 		ways:     cfg.Ways,
-		lines:    make([]line, sets*uint64(cfg.Ways)),
+		lines:    lines,
 	}, nil
 }
 
@@ -108,35 +126,40 @@ func (c *Cache) SetOf(ln uint64) int { return int(ln & c.setMask) }
 // installing it on a miss. write marks the line dirty.
 func (c *Cache) Access(ln uint64, write bool) Result {
 	c.stats.Accesses++
+	c.tick++
 	set := ln & c.setMask
 	tag := ln >> c.setShift
 	base := int(set) * c.ways
-	ways := c.lines[base : base+c.ways]
+	ways := c.lines[base : base+c.ways : base+c.ways]
 
+	var w uint64
+	if write {
+		w = 1
+	}
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			// Hit: move to MRU position.
-			hit := ways[i]
-			copy(ways[1:i+1], ways[:i])
-			if write {
-				hit.dirty = true
-			}
-			ways[0] = hit
+		if ways[i].tag == tag {
+			// Hit: refresh recency, keeping any prior dirty bit.
+			ways[i].stamp = c.tick<<1 | ways[i].stamp&1 | w
 			c.stats.Hits++
 			return Result{Hit: true}
 		}
 	}
 	c.stats.Misses++
-	victim := ways[c.ways-1]
-	copy(ways[1:], ways[:c.ways-1])
-	ways[0] = line{tag: tag, valid: true, dirty: write}
+	victim := 0
+	min := ways[0].stamp
+	for i := 1; i < len(ways); i++ {
+		if ways[i].stamp < min {
+			min, victim = ways[i].stamp, i
+		}
+	}
 	res := Result{}
-	if victim.valid {
+	if min != 0 {
 		c.stats.Evictions++
 		res.EvictedValid = true
-		res.EvictedDirty = victim.dirty
-		res.EvictedLine = victim.tag<<c.setShift | set
+		res.EvictedDirty = min&1 != 0
+		res.EvictedLine = ways[victim].tag<<c.setShift | set
 	}
+	ways[victim] = way{tag: tag, stamp: c.tick<<1 | w}
 	return res
 }
 
@@ -145,8 +168,8 @@ func (c *Cache) Contains(ln uint64) bool {
 	set := ln & c.setMask
 	tag := ln >> c.setShift
 	base := int(set) * c.ways
-	for _, w := range c.lines[base : base+c.ways] {
-		if w.valid && w.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
 			return true
 		}
 	}
@@ -157,7 +180,7 @@ func (c *Cache) Contains(ln uint64) bool {
 // write-back on flush is not modeled).
 func (c *Cache) Flush() {
 	for i := range c.lines {
-		c.lines[i] = line{}
+		c.lines[i] = way{tag: tagInvalid}
 	}
 }
 

@@ -63,6 +63,24 @@ type Phase struct {
 	Name   string
 	Work   []Work
 	NoWait bool
+	// Batched lets the engine pull ops from each body in blocks of
+	// opBatch per coroutine switch instead of one at a time. The
+	// scheduler still interleaves threads op-by-op in (time, id)
+	// order — only the body<->engine handoff is chunked — so results
+	// are unchanged PROVIDED the body is pure after its first yield:
+	// it must not read or write state shared with other bodies or
+	// phases between yields (first-yield-time effects such as mmaps
+	// are safe, since the first block is pulled exactly when the
+	// unbatched engine would have run the body for the first time).
+	// Bodies that mutate shared state mid-stream (e.g. a shared heap
+	// bump pointer) must leave this off.
+	Batched bool
+}
+
+// Batch marks the phase as safe for chunked op pulling (see Batched).
+func (p Phase) Batch() Phase {
+	p.Batched = true
+	return p
 }
 
 // NoWaitParallel builds a barrier-less parallel phase.
@@ -223,6 +241,41 @@ func (e *Engine) Threads() []Thread { return e.threads }
 // Now returns the global virtual clock (the last barrier release).
 func (e *Engine) Now() clock.Time { return e.now }
 
+// opBatch is how many ops a Batched phase hands the engine per
+// coroutine switch. The body-side adapter (blockify) accumulates its
+// yields into a block and performs one real iter.Pull handoff per
+// full block, so the goroutine-switch cost is paid once per opBatch
+// ops instead of once per op.
+const opBatch = 1024
+
+// blockify adapts a per-op body into a per-block iterator: the body's
+// yields append to a reused buffer that is surfaced to the consumer
+// only when full (or at body exit). The consumer must finish with a
+// block before requesting the next one — iter.Pull's strict
+// alternation guarantees that, which is what makes reusing the buffer
+// safe.
+func blockify(w Work) iter.Seq[[]Op] {
+	return func(yield func([]Op) bool) {
+		buf := make([]Op, 0, opBatch)
+		stopped := false
+		w(func(op Op) bool {
+			buf = append(buf, op)
+			if len(buf) < opBatch {
+				return true
+			}
+			if !yield(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+			return true
+		})
+		if !stopped && len(buf) > 0 {
+			yield(buf)
+		}
+	}
+}
+
 // runnerState is one live thread within a phase.
 type runnerState struct {
 	id   int
@@ -230,6 +283,32 @@ type runnerState struct {
 	ops  uint64 // ops this thread executed in the current phase
 	next func() (Op, bool)
 	stop func()
+	// Block pulling (Batched phases only): nextBlock replaces next,
+	// and buf[bufPos:] holds the ops of the current block that have
+	// not executed yet.
+	nextBlock func() ([]Op, bool)
+	buf       []Op
+	bufPos    int
+}
+
+// nextOp returns the thread's next op, pulling the next block from
+// the body when batching is on and the current block is spent.
+func (r *runnerState) nextOp() (Op, bool) {
+	if r.bufPos < len(r.buf) {
+		op := r.buf[r.bufPos]
+		r.bufPos++
+		return op, true
+	}
+	if r.nextBlock == nil {
+		return r.next()
+	}
+	buf, ok := r.nextBlock()
+	if !ok || len(buf) == 0 {
+		return Op{}, false
+	}
+	r.buf = buf
+	r.bufPos = 1
+	return buf[0], true
 }
 
 // Run executes the phases in order and returns the aggregated
@@ -293,8 +372,13 @@ func (e *Engine) runPhase(ph Phase, res *Result, barrier bool) (PhaseResult, err
 			continue
 		}
 		participants++
-		next, stop := iter.Pull(iter.Seq[Op](w))
-		live = append(live, &runnerState{id: i, time: e.release[i], next: next, stop: stop})
+		r := &runnerState{id: i, time: e.release[i]}
+		if ph.Batched {
+			r.nextBlock, r.stop = iter.Pull(blockify(w))
+		} else {
+			r.next, r.stop = iter.Pull(iter.Seq[Op](w))
+		}
+		live = append(live, r)
 	}
 	pr.Parallel = participants >= 2
 	defer func() {
@@ -316,7 +400,7 @@ func (e *Engine) runPhase(ph Phase, res *Result, barrier bool) (PhaseResult, err
 				r.id, e.opBudget)
 			break
 		}
-		op, ok := r.next()
+		op, ok := r.nextOp()
 		if !ok {
 			pr.ThreadEnd[r.id] = r.time
 			r.stop()

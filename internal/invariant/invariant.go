@@ -86,6 +86,9 @@ var ownerName = [...]string{"none", "buddy free list", "color list", "page table
 //     (a silent colored double-free) count as two owners.
 //  3. Frames marked colored never sit on a buddy free list, and frames
 //     parked on a color list always carry the colored mark.
+//  4. Every live entry of every task's simulated TLB maps a vpage to
+//     exactly the frame the process page table holds — a stale entry
+//     means a missed shootdown.
 //
 // The caller decides what Unaccounted must be: 0 for pristine
 // kernels, the churn holdout for aged ones.
@@ -124,7 +127,10 @@ func Audit(k *kernel.Kernel) *Report {
 		if !m.ValidFrame(f) {
 			return
 		}
-		if wantBC, wantLC := m.FrameBankColor(f), m.FrameLLCColor(f); wantBC != bc || wantLC != lc {
+		// Recompute from the bit-gather reference, not the memoized
+		// frame tables the kernel itself reads — a corrupt table must
+		// not vouch for itself.
+		if wantBC, wantLC := m.GatherBankColor(f.Base()), m.GatherLLCColor(f.Base()); wantBC != bc || wantLC != lc {
 			r.addf("frame %d parked on color list [%d][%d] but hashes to (%d,%d) under the mapping",
 				f, bc, lc, wantBC, wantLC)
 		}
@@ -143,6 +149,20 @@ func Audit(k *kernel.Kernel) *Report {
 				claim(f, ownerPCP, fmt.Sprintf("task %d pcp cache", t.ID()))
 				r.PCPCached++
 			}
+			// TLB coherence: every cached translation must agree with
+			// the process page table — a stale entry means a missed
+			// shootdown on munmap, migrate or recolor.
+			t.VisitTLB(func(vp uint64, f phys.Frame) {
+				got, ok := t.FrameOfVA(vp << phys.PageShift)
+				switch {
+				case !ok:
+					r.addf("task %d TLB caches vpage %#x -> frame %d but the page is not resident (missed shootdown)",
+						t.ID(), vp, f)
+				case got != f:
+					r.addf("task %d TLB caches vpage %#x -> frame %d but the page table maps it to frame %d",
+						t.ID(), vp, f, got)
+				}
+			})
 		}
 	}
 

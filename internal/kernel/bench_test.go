@@ -1,0 +1,83 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// Microbenchmarks for Task.Translate, called once per memory op. The
+// simulated TLB turns the resident-page common case into one array
+// probe; the DisableTLB variants measure the page-table-walk path the
+// TLB shortcuts.
+
+func benchBoot(b *testing.B, cfg Config) *Kernel {
+	b.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := New(top, m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func benchResidentTask(b *testing.B, cfg Config, pages uint64) (*Task, uint64) {
+	b.Helper()
+	k := benchBoot(b, cfg)
+	task, err := k.NewProcess().NewTask(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va, err := task.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Fault everything in so the benchmark loop sees resident pages.
+	for p := uint64(0); p < pages; p++ {
+		if _, _, err := task.Translate(va + p*phys.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return task, va
+}
+
+func BenchmarkTranslateTLBHit(b *testing.B) {
+	task, va := benchResidentTask(b, DefaultConfig(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := task.Translate(va); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateResidentSweep(b *testing.B) {
+	// Sweep more pages than TLB slots modulo-map to one index:
+	// exercises hits and conflict misses in workload-like proportion.
+	const pages = 4 * TLBEntries
+	task, va := benchResidentTask(b, DefaultConfig(), pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i) % pages * phys.PageSize
+		if _, _, err := task.Translate(va + off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateNoTLB(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.DisableTLB = true
+	task, va := benchResidentTask(b, cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := task.Translate(va); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,7 +15,11 @@ import (
 // rejected (that is the syscall surface doing its job); what must
 // never happen is a panic, a cross-layer bookkeeping violation, or a
 // frame leaking out of (or into) the accounted pools — checked via
-// exact frame conservation against the boot-time baseline.
+// exact frame conservation against the boot-time baseline. Since the
+// auditor also cross-checks every live TLB entry against the page
+// table (invariant.Audit check 4), each fuzzed interleaving doubles
+// as a TLB shootdown-coherence probe: a munmap, migrate or recolor
+// that misses an invalidation fails the very next audit.
 //
 // Encoding: each operation is 3 bytes [sel, arg, page]. sel%10 picks
 // the operation, (sel/10)%2 the task; arg and page select regions,

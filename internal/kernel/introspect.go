@@ -66,3 +66,13 @@ func (p *Process) VisitPages(fn func(vpage uint64, f phys.Frame)) {
 // PCPFrames returns a copy of the task's per-CPU page cache (frames
 // pulled from a zone but not yet handed to a fault).
 func (t *Task) PCPFrames() []phys.Frame { return append([]phys.Frame(nil), t.pcp...) }
+
+// VisitTLB calls fn for every live entry of the task's simulated TLB
+// in slot order. It visits nothing when the TLB is disabled.
+func (t *Task) VisitTLB(fn func(vpage uint64, f phys.Frame)) {
+	for _, e := range t.tlb {
+		if e.vp != 0 {
+			fn(e.vp, e.frame)
+		}
+	}
+}

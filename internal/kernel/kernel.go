@@ -81,6 +81,13 @@ type Config struct {
 	// knob exists to ablate that design choice — colored requests
 	// bypass the pcp cache regardless, exactly as in the paper.
 	EnablePCP bool
+	// DisableTLB turns off the per-task simulated TLB so every
+	// Translate walks the region list and page table. The TLB is a
+	// pure fast path (a hit costs the same simulated time as a
+	// resident page-table lookup), so this knob changes wall-clock
+	// speed only; the differential tests use it to pin the TLB'd
+	// kernel against a TLB-less reference.
+	DisableTLB bool
 	// BuddyRemoteFrac models the imperfect NUMA locality of the
 	// default allocator on a busy system (paper Fig. 7: "one task
 	// may access a remote memory node under the buddy allocator"):
@@ -123,6 +130,11 @@ type Stats struct {
 	RefillFrames uint64 // frames shattered into color lists
 	ColorMmaps   uint64 // color-protocol mmap calls
 	PCPHits      uint64 // default-path pages served from the pcp cache
+
+	// Simulated-TLB counters (zero when Config.DisableTLB).
+	TLBHits       uint64 // Translate calls served by the TLB
+	TLBMisses     uint64 // Translate calls that walked the page table
+	TLBShootdowns uint64 // invalidation events (munmap/migrate pages, recolor flushes)
 }
 
 // Kernel owns physical memory and all simulated processes.

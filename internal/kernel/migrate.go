@@ -56,6 +56,7 @@ func (t *Task) Migrate(va, length uint64) (MigrateStats, error) {
 			return st, fmt.Errorf("kernel: Migrate at %#x: %w", page, err)
 		}
 		t.proc.pt[vp] = fresh
+		t.proc.shootdownPage(vp)
 		k.freeFrame(old)
 		st.Moved++
 		st.Cost += cost + MigratePerPageCost

@@ -77,6 +77,9 @@ func (p *Process) NewTask(core topology.CoreID) (*Task, error) {
 		nodeSet:   make([]bool, p.k.mapping.Nodes()),
 		nodeOrder: p.k.nodeOrderFor(core),
 	}
+	if !p.k.cfg.DisableTLB {
+		t.tlb = make([]tlbEntry, TLBEntries)
+	}
 	p.k.nextTaskID++
 	p.tasks = append(p.tasks, t)
 	return t, nil
@@ -116,6 +119,7 @@ type Task struct {
 	bankScan    int          // rotating bank offset for LLC-only coloring
 	bankOrder   []int        // cached local-first bank color scan order
 	pcp         []phys.Frame // per-task page cache (EnablePCP only)
+	tlb         []tlbEntry   // direct-mapped translation cache (nil when DisableTLB)
 }
 
 // bankScanOrder returns every bank color ordered local-node-first (by
@@ -227,6 +231,10 @@ func (t *Task) setColor(arg uint64) error {
 		return fmt.Errorf("%w: unknown color mode %#x", ErrBadMmap, mode>>colorModeShift)
 	}
 	t.comboCursor = 0
+	// Recoloring flushes the task's TLB — the conservative model of a
+	// recolor-triggered shootdown (cached translations stay valid, so
+	// this affects wall-clock cost only, never simulated state).
+	t.tlbFlush()
 	return nil
 }
 
@@ -251,6 +259,7 @@ func (t *Task) Munmap(va, length uint64) error {
 	for vp := va >> phys.PageShift; vp < end>>phys.PageShift; vp++ {
 		if f, ok := p.pt[vp]; ok {
 			delete(p.pt, vp)
+			p.shootdownPage(vp)
 			p.k.freeFrame(f)
 		}
 	}
@@ -260,13 +269,29 @@ func (t *Task) Munmap(va, length uint64) error {
 // Translate resolves va to a physical address for an access by this
 // task, faulting in a frame on first touch. The returned cost is the
 // simulated fault overhead (0 when the page was already resident).
+//
+// A TLB hit bypasses both the region check and the page-table map: an
+// entry can only exist while its mapping does (shootdowns on munmap,
+// migrate and recolor keep it that way), and a hit costs the same
+// simulated time (zero) as a resident page-table walk, so the fast
+// path changes no simulated outcome.
 func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 	p := t.proc
+	vp := va >> phys.PageShift
+	if t.tlb != nil {
+		if e := &t.tlb[vp&(TLBEntries-1)]; e.vp == vp {
+			p.k.stats.TLBHits++
+			return e.frame.Base() + phys.Addr(phys.Offset(phys.Addr(va))), 0, nil
+		}
+		p.k.stats.TLBMisses++
+	}
 	if _, ok := p.regionOf(va); !ok {
 		return 0, 0, fmt.Errorf("%w: address %#x", ErrSegfault, va)
 	}
-	vp := va >> phys.PageShift
 	if f, ok := p.pt[vp]; ok {
+		if t.tlb != nil {
+			t.tlbInsert(vp, f)
+		}
 		return f.Base() + phys.Addr(phys.Offset(phys.Addr(va))), 0, nil
 	}
 	f, cost, err := p.k.allocPagesFor(t)
@@ -274,6 +299,9 @@ func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 		return 0, cost, err
 	}
 	p.pt[vp] = f
+	if t.tlb != nil {
+		t.tlbInsert(vp, f)
+	}
 	return f.Base() + phys.Addr(phys.Offset(phys.Addr(va))), cost, nil
 }
 

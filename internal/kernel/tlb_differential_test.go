@@ -1,0 +1,231 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/invariant"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// TLB differential test: the simulated TLB is a pure fast path, so a
+// kernel with it enabled must be observationally identical to one
+// booted with Config.DisableTLB — same translations, same fault
+// costs, same errors — under arbitrary interleavings of mmap, touch,
+// munmap, recolor and migrate across tasks sharing an address space.
+// Any missed shootdown shows up as a stale physical address on the
+// TLB side the moment the reference kernel hands out the fresh one.
+//
+// (FuzzKernelInterleaving arms the TLB coherence invariant too:
+// invariant.Audit cross-checks every live TLB entry against the page
+// table after each fuzzed op batch.)
+
+// tlbTwin drives two identically-configured kernels, TLB on and off,
+// through the same op log.
+type tlbTwin struct {
+	fast *kernel.Kernel // TLB enabled (default config)
+	ref  *kernel.Kernel // DisableTLB reference
+	// tasks[i] on both kernels sit on the same core of the same
+	// process shape.
+	fastTasks []*kernel.Task
+	refTasks  []*kernel.Task
+	tproc     []int
+	// regions per process: both kernels produce identical bases (the
+	// VA allocator is deterministic), verified on every mmap.
+	regions map[int][]tlbRegion
+}
+
+type tlbRegion struct {
+	base  uint64
+	pages int
+}
+
+func newTLBTwin() (*tlbTwin, error) {
+	top := topology.Opteron6128()
+	boot := func(disable bool) (*kernel.Kernel, error) {
+		m, err := phys.DefaultSeparable(256<<20, top.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		cfg := kernel.DefaultConfig()
+		cfg.DisableTLB = disable
+		return kernel.New(top, m, cfg)
+	}
+	fast, err := boot(false)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := boot(true)
+	if err != nil {
+		return nil, err
+	}
+	tw := &tlbTwin{fast: fast, ref: ref, regions: map[int][]tlbRegion{}}
+	layout := []struct {
+		p    int
+		core topology.CoreID
+	}{{0, 0}, {0, 5}, {1, 10}}
+	fp := []*kernel.Process{fast.NewProcess(), fast.NewProcess()}
+	rp := []*kernel.Process{ref.NewProcess(), ref.NewProcess()}
+	for _, tc := range layout {
+		ft, err := fp[tc.p].NewTask(tc.core)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := rp[tc.p].NewTask(tc.core)
+		if err != nil {
+			return nil, err
+		}
+		tw.fastTasks = append(tw.fastTasks, ft)
+		tw.refTasks = append(tw.refTasks, rt)
+		tw.tproc = append(tw.tproc, tc.p)
+	}
+	return tw, nil
+}
+
+// apply runs one op on both kernels and compares every observable.
+func (tw *tlbTwin) apply(o kop) error {
+	ti := o.task % len(tw.fastTasks)
+	ft, rt := tw.fastTasks[ti], tw.refTasks[ti]
+	proc := tw.tproc[ti]
+	regs := tw.regions[proc]
+	switch o.kind {
+	case opMmap:
+		pages := 1 + o.arg%16
+		fb, ferr := ft.Mmap(0, uint64(pages)*phys.PageSize, 0)
+		rb, rerr := rt.Mmap(0, uint64(pages)*phys.PageSize, 0)
+		if (ferr == nil) != (rerr == nil) {
+			return fmt.Errorf("mmap diverged: tlb err %v, ref err %v", ferr, rerr)
+		}
+		if ferr != nil {
+			return nil
+		}
+		if fb != rb {
+			return fmt.Errorf("mmap base diverged: tlb %#x, ref %#x", fb, rb)
+		}
+		tw.regions[proc] = append(regs, tlbRegion{base: fb, pages: pages})
+
+	case opTouch:
+		if len(regs) == 0 {
+			return nil
+		}
+		reg := regs[o.arg%len(regs)]
+		va := reg.base + uint64(o.page%reg.pages)*phys.PageSize
+		fpa, fcost, ferr := ft.Translate(va)
+		rpa, rcost, rerr := rt.Translate(va)
+		if (ferr == nil) != (rerr == nil) {
+			return fmt.Errorf("translate %#x diverged: tlb err %v, ref err %v", va, ferr, rerr)
+		}
+		if ferr != nil {
+			return nil
+		}
+		if fpa != rpa {
+			return fmt.Errorf("translate %#x: tlb kernel says %#x, reference says %#x (stale TLB entry?)", va, fpa, rpa)
+		}
+		if fcost != rcost {
+			return fmt.Errorf("translate %#x: tlb kernel charged %d cycles, reference %d — the TLB must not change timing", va, fcost, rcost)
+		}
+
+	case opMunmap:
+		if len(regs) == 0 {
+			return nil
+		}
+		i := o.arg % len(regs)
+		reg := regs[i]
+		ferr := ft.Munmap(reg.base, uint64(reg.pages)*phys.PageSize)
+		rerr := rt.Munmap(reg.base, uint64(reg.pages)*phys.PageSize)
+		if (ferr == nil) != (rerr == nil) {
+			return fmt.Errorf("munmap [%#x,+%d) diverged: tlb err %v, ref err %v", reg.base, reg.pages, ferr, rerr)
+		}
+		if ferr == nil {
+			tw.regions[proc] = append(regs[:i:i], regs[i+1:]...)
+		}
+
+	case opSetBank, opClearBank, opSetLLC, opClearLLC:
+		m := tw.fast.Mapping()
+		var arg uint64
+		switch o.kind {
+		case opSetBank:
+			arg = uint64(o.arg%m.NumBankColors()) | kernel.SetMemColor
+		case opClearBank:
+			arg = uint64(o.arg%m.NumBankColors()) | kernel.ClearMemColor
+		case opSetLLC:
+			arg = uint64(o.arg%m.NumLLCColors()) | kernel.SetLLCColor
+		case opClearLLC:
+			arg = uint64(o.arg%m.NumLLCColors()) | kernel.ClearLLCColor
+		}
+		_, ferr := ft.Mmap(arg, 0, kernel.ColorAlloc)
+		_, rerr := rt.Mmap(arg, 0, kernel.ColorAlloc)
+		if (ferr == nil) != (rerr == nil) {
+			return fmt.Errorf("color op %#x diverged: tlb err %v, ref err %v", arg, ferr, rerr)
+		}
+
+	case opMigrate:
+		if len(regs) == 0 {
+			return nil
+		}
+		reg := regs[o.arg%len(regs)]
+		fst, ferr := ft.Migrate(reg.base, uint64(reg.pages)*phys.PageSize)
+		rst, rerr := rt.Migrate(reg.base, uint64(reg.pages)*phys.PageSize)
+		if (ferr == nil) != (rerr == nil) {
+			return fmt.Errorf("migrate [%#x,+%d) diverged: tlb err %v, ref err %v", reg.base, reg.pages, ferr, rerr)
+		}
+		if ferr == nil && fst != rst {
+			return fmt.Errorf("migrate stats diverged: tlb %+v, ref %+v", fst, rst)
+		}
+	}
+	return nil
+}
+
+func TestTLBShootdownDifferential(t *testing.T) {
+	// Munmap/migrate/recolor-heavy mix: every one of those must shoot
+	// down or flush TLB entries, and a touch right after is exactly
+	// the access pattern that exposes a missed shootdown.
+	kinds := []int{
+		opMmap, opMmap, opTouch, opTouch, opTouch, opTouch,
+		opMunmap, opMunmap, opMigrate, opMigrate,
+		opSetBank, opClearBank, opSetLLC, opClearLLC,
+	}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tw, err := newTLBTwin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 600; i++ {
+				o := kop{
+					kind: kinds[rng.Intn(len(kinds))],
+					task: rng.Intn(3),
+					arg:  rng.Intn(1 << 16),
+					page: rng.Intn(1 << 16),
+				}
+				if err := tw.apply(o); err != nil {
+					t.Fatalf("op %d %v: %v", i, o, err)
+				}
+				if (i+1)%32 == 0 {
+					if err := invariant.Audit(tw.fast).Err(); err != nil {
+						t.Fatalf("after op %d %v: tlb kernel: %v", i, o, err)
+					}
+					if err := invariant.Audit(tw.ref).Err(); err != nil {
+						t.Fatalf("after op %d %v: reference kernel: %v", i, o, err)
+					}
+				}
+			}
+			fs, rs := tw.fast.Stats(), tw.ref.Stats()
+			if fs.TLBHits+fs.TLBMisses == 0 {
+				t.Error("TLB-enabled kernel recorded no TLB activity")
+			}
+			if fs.TLBShootdowns == 0 {
+				t.Error("TLB-enabled kernel recorded no shootdowns despite munmap/migrate/recolor ops")
+			}
+			if rs.TLBHits != 0 || rs.TLBMisses != 0 || rs.TLBShootdowns != 0 {
+				t.Errorf("DisableTLB kernel has TLB counters %+v", rs)
+			}
+		})
+	}
+}

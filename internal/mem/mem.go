@@ -210,14 +210,15 @@ func (s *System) AccessLevel(core topology.CoreID, a phys.Addr, write bool, t cl
 	st.Accesses++
 	ln := uint64(a) >> phys.LineShift
 
-	done := t + s.l1[core].Latency()
-	if s.l1[core].Access(ln, write).Hit {
+	l1, l2 := s.l1[core], s.l2[core]
+	done := t + l1.Latency()
+	if l1.Access(ln, write).Hit {
 		st.L1Hits++
 		st.TotalCycles += done - t
 		return done, LevelL1
 	}
-	done += s.l2[core].Latency()
-	if s.l2[core].Access(ln, write).Hit {
+	done += l2.Latency()
+	if l2.Access(ln, write).Hit {
 		st.L2Hits++
 		st.TotalCycles += done - t
 		return done, LevelL2
@@ -253,12 +254,12 @@ func (s *System) AccessLevel(core topology.CoreID, a phys.Addr, write bool, t cl
 	done = dramDone + prop // reply propagation
 
 	// Dirty L3 victim: fire-and-forget writeback occupying its
-	// home bank (does not delay this requester).
+	// home bank (does not delay this requester). Victim lines can
+	// only enter the L3 through the validity check at the top of
+	// AccessLevel, so the victim address needs no re-validation.
 	if l3res.EvictedValid && l3res.EvictedDirty {
 		victim := phys.Addr(l3res.EvictedLine << phys.LineShift)
-		if s.mapping.Valid(victim) {
-			s.dram.Access(victim, done, true)
-		}
+		s.dram.Access(victim, done, true)
 	}
 	st.TotalCycles += done - t
 	return done, level

@@ -1,0 +1,59 @@
+package mem
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// Regression test for the dirty-L3-victim write-back path: the
+// victim's fire-and-forget write must reach the victim line's OWN
+// home controller (decoded from the reconstructed victim address),
+// not the controller of the access that caused the eviction. A bug
+// here would silently shift write-back pressure between nodes and
+// corrupt every per-controller figure the paper reports.
+func TestDirtyL3WritebackHitsHomeBank(t *testing.T) {
+	s := newSystem(t)
+	cfg := DefaultConfig()
+
+	// Node 1's base (64 MiB with 256 MiB over 4 contiguous nodes) is
+	// 1 MiB-aligned, so it shares L3 set 0 with the node-0 addresses
+	// at 1 MiB stride used to force the eviction below.
+	a1 := phys.Addr(64 << 20)
+	if n := s.Mapping().NodeOf(a1); n != 1 {
+		t.Fatalf("test address %#x decodes to node %d, want 1", a1, n)
+	}
+
+	// Dirty a1 in the hierarchy: one DRAM fill on node 1's controller.
+	now := s.Access(0, a1, true, 0)
+	if got := s.DRAM().Controller(1).Stats().Accesses; got != 1 {
+		t.Fatalf("after dirty fill: node-1 controller saw %d accesses, want 1", got)
+	}
+
+	// Evict it with same-set node-0 reads. L3 is 12-way, so eleven
+	// reads park in the set's remaining ways and the twelfth chooses
+	// the LRU victim — the dirty a1 line.
+	ways := cfg.L3.Ways
+	for i := 0; i < ways; i++ {
+		a0 := phys.Addr(uint64(i) << 20)
+		if n := s.Mapping().NodeOf(a0); n != 0 {
+			t.Fatalf("filler address %#x decodes to node %d, want 0", a0, n)
+		}
+		now = s.Access(0, a0, false, now+1)
+		if i < ways-1 {
+			if got := s.DRAM().Controller(1).Stats().Accesses; got != 1 {
+				t.Fatalf("after %d filler reads: node-1 controller saw %d accesses, want still 1", i+1, got)
+			}
+		}
+	}
+	if got := s.DRAM().Controller(1).Stats().Accesses; got != 2 {
+		t.Fatalf("node-1 controller saw %d accesses, want 2 (fill + dirty write-back)", got)
+	}
+	if got := s.DRAM().Controller(0).Stats().Accesses; got != uint64(ways) {
+		t.Fatalf("node-0 controller saw %d accesses, want %d filler fills", got, ways)
+	}
+	if !s.L3().Contains(uint64(a1) >> phys.LineShift) {
+		return // evicted as expected
+	}
+	t.Fatal("dirty line still resident in L3 after a full set of conflicting fills")
+}

@@ -1,0 +1,82 @@
+package phys
+
+import "testing"
+
+// Microbenchmarks for the address-decode hot path. Decode, BankColor
+// and LLCColor run once per simulated DRAM access, so their cost is a
+// direct component of engine ops/sec; the table-backed fast path is
+// compared against the bit-gather reference it memoizes.
+
+func benchMapping(b *testing.B, mk func(uint64, int) (*Mapping, error)) *Mapping {
+	b.Helper()
+	m, err := mk(256<<20, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchAddrs(m *Mapping) []Addr {
+	addrs := make([]Addr, 4096)
+	// Stride by a prime number of lines so the sweep visits many
+	// frames, channels and rows.
+	const stride = 127 * LineSize
+	for i := range addrs {
+		addrs[i] = Addr(uint64(i) * stride % m.MemBytes())
+	}
+	return addrs
+}
+
+func BenchmarkDecodeTable(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Decode(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkDecodeGather(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.GatherDecode(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkDecodeTableOverlapped(b *testing.B) {
+	m := benchMapping(b, OpteronOverlapped)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Decode(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkBankColorTable(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.BankColor(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkBankColorGather(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.GatherBankColor(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkLLCColorTable(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	addrs := benchAddrs(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.LLCColor(addrs[i%len(addrs)])
+	}
+}

@@ -13,10 +13,7 @@
 // 6128, yielding 32 colors).
 package phys
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Addr is a physical byte address.
 type Addr uint64
@@ -69,9 +66,29 @@ type Mapping struct {
 	llcBits     []uint // LLC color bits (must be >= PageShift)
 	rowShift    uint   // node-relative row number = offset >> rowShift
 
-	tableOnce sync.Once
-	bankTable []int32 // frame -> bank color
-	llcTable  []int16 // frame -> LLC color
+	// Precomputed per-frame decode tables (see buildTables). All
+	// color/select bits of the default and Opteron mappings sit at or
+	// above PageShift, so the hot-path Decode/BankColor/LLCColor
+	// collapse to one table load plus row/col arithmetic. subPageBits
+	// marks the exotic case of channel/rank/bank bits below the page
+	// shift, where decode genuinely varies within a frame and the
+	// bit-gather path remains authoritative.
+	subPageBits bool
+	frameLoc    []frameLoc // frame -> node/channel/rank/bank
+	bankTable   []int32    // frame -> bank color
+	llcTable    []int16    // frame -> LLC color
+	nodeBase    []uint64   // node -> first byte address
+	rowMask     uint64     // (1<<rowShift)-1
+}
+
+// frameLoc is the memoized DRAM decomposition of one frame's base
+// address: everything Decode needs except the row/column, which
+// depend on sub-page offset bits and stay arithmetic.
+type frameLoc struct {
+	node    uint32
+	channel uint8
+	rank    uint8
+	bank    uint8
 }
 
 // MappingConfig parameterizes NewMapping. Bit positions are absolute
@@ -127,7 +144,45 @@ func NewMapping(c MappingConfig) (*Mapping, error) {
 		llcBits:     append([]uint(nil), c.LLCBits...),
 		rowShift:    c.RowShift,
 	}
+	m.buildTables()
 	return m, nil
+}
+
+// buildTables memoizes the per-frame decode: node, channel, rank,
+// bank, bank color and LLC color of every frame's base address. LLC
+// bits are validated to sit at or above PageShift, so the LLC table is
+// always exact; the location and bank-color tables are exact unless
+// some channel/rank/bank bit falls below the page shift (subPageBits),
+// in which case the hot-path accessors keep the bit-gather route.
+func (m *Mapping) buildTables() {
+	for _, group := range [][]uint{m.channelBits, m.rankBits, m.bankBits} {
+		for _, b := range group {
+			if b < PageShift {
+				m.subPageBits = true
+			}
+		}
+	}
+	m.rowMask = (uint64(1) << m.rowShift) - 1
+	m.nodeBase = make([]uint64, m.nodes)
+	for n := 0; n < m.nodes; n++ {
+		m.nodeBase[n] = uint64(n) * m.nodeSize
+	}
+	frames := m.Frames()
+	m.frameLoc = make([]frameLoc, frames)
+	m.bankTable = make([]int32, frames)
+	m.llcTable = make([]int16, frames)
+	for f := Frame(0); uint64(f) < frames; f++ {
+		a := f.Base()
+		l := m.GatherDecode(a)
+		m.frameLoc[f] = frameLoc{
+			node:    uint32(l.Node),
+			channel: uint8(l.Channel),
+			rank:    uint8(l.Rank),
+			bank:    uint8(l.Bank),
+		}
+		m.bankTable[f] = int32(m.GatherBankColor(a))
+		m.llcTable[f] = int16(m.GatherLLCColor(a))
+	}
 }
 
 // DefaultSeparable returns the repository's default mapping: every
@@ -234,8 +289,31 @@ func gather(a uint64, bits []uint) int {
 	return v
 }
 
-// Decode translates a physical address into its DRAM location.
+// Decode translates a physical address into its DRAM location. The
+// hot path is one frameLoc table load plus row/column arithmetic;
+// out-of-range addresses and mappings with sub-page select bits take
+// the reference bit-gather route (identical results where both apply).
 func (m *Mapping) Decode(a Addr) Location {
+	f := uint64(a) >> PageShift
+	if m.subPageBits || f >= uint64(len(m.frameLoc)) {
+		return m.GatherDecode(a)
+	}
+	fl := m.frameLoc[f]
+	off := uint64(a) - m.nodeBase[fl.node]
+	return Location{
+		Node:    int(fl.node),
+		Channel: int(fl.channel),
+		Rank:    int(fl.rank),
+		Bank:    int(fl.bank),
+		Row:     off >> m.rowShift,
+		Col:     (off & m.rowMask) >> LineShift,
+	}
+}
+
+// GatherDecode is the reference bit-gather implementation of Decode.
+// It is what buildTables memoizes; tests and the invariant auditor use
+// it to cross-check the tables independently.
+func (m *Mapping) GatherDecode(a Addr) Location {
 	u := uint64(a)
 	loc := Location{
 		Node:    m.NodeOf(a),
@@ -252,12 +330,34 @@ func (m *Mapping) Decode(a Addr) Location {
 // BankColor composes Eq. 1 for address a:
 // ((node*NC + channel)*NR + rank)*NB + bank.
 func (m *Mapping) BankColor(a Addr) int {
-	l := m.Decode(a)
+	f := uint64(a) >> PageShift
+	if m.subPageBits || f >= uint64(len(m.bankTable)) {
+		return m.GatherBankColor(a)
+	}
+	return int(m.bankTable[f])
+}
+
+// GatherBankColor is the reference bit-gather implementation of
+// BankColor (see GatherDecode).
+func (m *Mapping) GatherBankColor(a Addr) int {
+	l := m.GatherDecode(a)
 	return ((l.Node*m.Channels()+l.Channel)*m.Ranks()+l.Rank)*m.Banks() + l.Bank
 }
 
-// LLCColor returns the LLC color of address a.
+// LLCColor returns the LLC color of address a. LLC color bits always
+// sit at or above the page shift (enforced by NewMapping), so the
+// per-frame table is exact for every installed address.
 func (m *Mapping) LLCColor(a Addr) int {
+	f := uint64(a) >> PageShift
+	if f >= uint64(len(m.llcTable)) {
+		return m.GatherLLCColor(a)
+	}
+	return int(m.llcTable[f])
+}
+
+// GatherLLCColor is the reference bit-gather implementation of
+// LLCColor (see GatherDecode).
+func (m *Mapping) GatherLLCColor(a Addr) int {
 	return gather(uint64(a), m.llcBits)
 }
 
@@ -265,28 +365,29 @@ func (m *Mapping) LLCColor(a Addr) int {
 // sit at or above PageShift, so the color is uniform across the frame
 // under a separable mapping; under an overlapped mapping any
 // sub-page channel/rank bits are taken as zero.
-func (m *Mapping) FrameBankColor(f Frame) int { return m.BankColor(f.Base()) }
+func (m *Mapping) FrameBankColor(f Frame) int {
+	if uint64(f) < uint64(len(m.bankTable)) {
+		return int(m.bankTable[f])
+	}
+	return m.GatherBankColor(f.Base())
+}
 
 // FrameLLCColor returns the LLC color of frame f.
-func (m *Mapping) FrameLLCColor(f Frame) int { return m.LLCColor(f.Base()) }
+func (m *Mapping) FrameLLCColor(f Frame) int {
+	if uint64(f) < uint64(len(m.llcTable)) {
+		return int(m.llcTable[f])
+	}
+	return m.GatherLLCColor(f.Base())
+}
 
 // NodeOfFrame returns the memory node owning frame f.
 func (m *Mapping) NodeOfFrame(f Frame) int { return m.NodeOf(f.Base()) }
 
-// FrameColorTables returns dense per-frame color lookup tables
-// (frame -> bank color, frame -> LLC color), built once on first use.
+// FrameColorTables returns the dense per-frame color lookup tables
+// (frame -> bank color, frame -> LLC color) built at construction.
 // Hot paths (the kernel's colored refill) use these instead of
-// re-decoding addresses.
+// re-decoding addresses. Callers must not mutate the slices.
 func (m *Mapping) FrameColorTables() (bank []int32, llc []int16) {
-	m.tableOnce.Do(func() {
-		n := m.Frames()
-		m.bankTable = make([]int32, n)
-		m.llcTable = make([]int16, n)
-		for f := Frame(0); uint64(f) < n; f++ {
-			m.bankTable[f] = int32(m.BankColor(f.Base()))
-			m.llcTable[f] = int16(m.LLCColor(f.Base()))
-		}
-	})
 	return m.bankTable, m.llcTable
 }
 

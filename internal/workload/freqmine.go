@@ -65,6 +65,10 @@ func buildFreqmine(threads []engine.Thread, p Params) ([]engine.Phase, error) {
 			}
 		}
 	}
+	// build-tree must NOT be Batched: Heap.Malloc between yields
+	// advances the process-wide VA bump pointer, so running a body
+	// ahead of its scheduled ops would reorder allocations across
+	// threads and change every node address.
 	phases := []engine.Phase{engine.Parallel("build-tree", buildBodies)}
 
 	mineBodies := make([]engine.Work, n)
@@ -91,6 +95,6 @@ func buildFreqmine(threads []engine.Thread, p Params) ([]engine.Phase, error) {
 			}
 		}
 	}
-	phases = append(phases, engine.Parallel("mine", mineBodies))
+	phases = append(phases, engine.Parallel("mine", mineBodies).Batch())
 	return phases, nil
 }
