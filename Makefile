@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench microbench profile golden figures report sweep fuzz lint clean
+.PHONY: all build test test-short race bench microbench profile golden figures report sweep chaos-smoke fuzz lint clean
 
 all: build lint test
 
@@ -49,10 +49,18 @@ report:
 sweep:
 	$(GO) run ./cmd/tintbench -exp sweep -sweep hop-cycles -scale 0.5 -repeats 1
 
+# Quick graceful-degradation shakeout: every workload under two fault
+# plans, each cell run twice and compared byte-for-byte (see
+# EXPERIMENTS.md "chaos").
+chaos-smoke:
+	$(GO) run ./cmd/tintbench -exp chaos -scale 0.05 -repeats 1 \
+		-plans refill-starve,pressure-storm
+
 fuzz:
 	$(GO) test -fuzz=FuzzMmap -fuzztime=30s ./internal/kernel
 	$(GO) test -fuzz=FuzzKernelInterleaving -fuzztime=30s ./internal/kernel
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/bench
 
 # vet plus the repo's own determinism/correctness analyzers
 # (cmd/tintvet); see CONTRIBUTING.md for the rules they enforce.

@@ -25,13 +25,14 @@ import (
 	"strings"
 
 	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/fault"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|bench|all")
+		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|chaos|bench|all")
 		scale      = flag.Float64("scale", 1.0, "working-set scale factor (1.0 = paper-size)")
 		repeats    = flag.Int("repeats", 3, "repetitions per cell (paper used 10)")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -45,6 +46,8 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent cells per experiment (identical results, faster wall clock)")
 		sweepParam = flag.String("sweep", "hop-cycles", "parameter for -exp sweep: hop-cycles|row-penalty|llc-ways")
 		sweepVals  = flag.String("sweep-values", "0,10,25,50,100", "comma-separated values for -exp sweep")
+		planNames  = flag.String("plans", "", "comma-separated fault plans for -exp chaos (default: all named plans)")
+		chaosPol   = flag.String("policy", "MEM+LLC", "coloring policy for -exp chaos")
 		benchOut   = flag.String("out", "BENCH_engine.json", "output file for -exp bench")
 		benchPar   = flag.String("bench-parallel", "1,8", "comma-separated -parallel values the bench harness compares")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -104,7 +107,7 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		if *exp != name && !(*exp == "all" && name != "detail" && name != "sweep") {
+		if *exp != name && !(*exp == "all" && name != "detail" && name != "sweep" && name != "chaos") {
 			return
 		}
 		if err := f(); err != nil {
@@ -173,6 +176,33 @@ func main() {
 		case chartOut:
 			r.WriteChart(os.Stdout)
 			return nil
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	run("chaos", func() error {
+		loads, err := selectWorkloads(*wlFilter)
+		if err != nil {
+			return err
+		}
+		cfg, err := bench.ConfigByName(mach.Topo, *cfgName)
+		if err != nil {
+			return err
+		}
+		plans, err := selectPlans(*planNames)
+		if err != nil {
+			return err
+		}
+		r, err := bench.RunChaos(mach, cfg, *chaosPol, loads, plans, params, *parallel)
+		if err != nil {
+			return err
+		}
+		switch {
+		case csvOut:
+			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
 		}
 		r.WriteTable(os.Stdout)
 		return nil
@@ -309,6 +339,21 @@ func selectWorkloads(filter string) ([]workload.Workload, error) {
 			return nil, err
 		}
 		out = append(out, w)
+	}
+	return out, nil
+}
+
+func selectPlans(filter string) ([]fault.Plan, error) {
+	if filter == "" {
+		return fault.Plans(), nil
+	}
+	var out []fault.Plan
+	for _, name := range strings.Split(filter, ",") {
+		p, err := fault.PlanByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -23,6 +23,7 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/analysis/cycleclock"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/detrand"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/errdrop"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/faultpure"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/maporder"
 )
 
@@ -32,6 +33,7 @@ var suite = []*analysis.Analyzer{
 	maporder.Analyzer,
 	cycleclock.Analyzer,
 	errdrop.Analyzer,
+	faultpure.Analyzer,
 }
 
 func main() {

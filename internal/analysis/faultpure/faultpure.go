@@ -1,0 +1,154 @@
+// Package faultpure enforces the fault-hook determinism contract
+// (DESIGN.md Sec. 10): a hook installed through SetFaultHook,
+// SetZoneFaultHook or SetFaultHooks must be a pure function of its
+// arguments and the hook's own captured counters. The chaos harness
+// asserts byte-identical output for a fixed seed, which a hook
+// breaks the moment it consults wall-clock time, ambient randomness,
+// the process environment, or a shared *rand.Rand whose consumption
+// order depends on scheduling. detrand already bans the worst
+// offenders repo-wide; this analyzer additionally flags any use of
+// the time/os packages and any captured rand.Rand inside hook
+// bodies, where even a seeded generator is wrong.
+package faultpure
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+)
+
+// Analyzer flags nondeterministic sources inside fault-hook function
+// literals.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpure",
+	Doc: "forbid wall-clock, environment and rand state in fault hooks; " +
+		"hooks must be pure functions of their arguments and captured counters",
+	Applies: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/internal/")
+	},
+	Run: run,
+}
+
+// hookInstallers are the methods whose function-literal arguments
+// become fault hooks. Matching is by name: the kernel and buddy
+// layers both expose them, and fixture tests substitute local types.
+var hookInstallers = map[string]bool{
+	"SetFaultHook":     true,
+	"SetZoneFaultHook": true,
+	"SetFaultHooks":    true,
+}
+
+// forbiddenPkgs are packages whose mere use inside a hook makes the
+// decision stream depend on something other than the seed.
+var forbiddenPkgs = map[string]string{
+	"time":         "wall-clock state",
+	"os":           "process environment",
+	"math/rand":    "shared rand state",
+	"math/rand/v2": "shared rand state",
+}
+
+func run(pass *analysis.Pass) error {
+	// A FaultHooks literal passed straight to SetFaultHooks matches
+	// both branches below; checked dedupes so each hook body is
+	// reported once.
+	checked := map[*ast.FuncLit]bool{}
+	check := func(lit *ast.FuncLit) {
+		if !checked[lit] {
+			checked[lit] = true
+			checkHook(pass, lit)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !hookInstallers[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					for _, lit := range hookLits(arg) {
+						check(lit)
+					}
+				}
+			case *ast.CompositeLit:
+				// kernel.FaultHooks{Refill: func...} built away from
+				// the SetFaultHooks call site.
+				if tv, ok := pass.TypesInfo.Types[n]; ok && namedAs(tv.Type, "FaultHooks") {
+					for _, lit := range hookLits(n) {
+						check(lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hookLits collects the function literals inside an installer
+// argument: a bare FuncLit, or FuncLit fields of a composite literal
+// (kernel.FaultHooks{...}).
+func hookLits(e ast.Expr) []*ast.FuncLit {
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		return []*ast.FuncLit{e}
+	case *ast.CompositeLit:
+		var out []*ast.FuncLit
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = append(out, hookLits(el)...)
+		}
+		return out
+	case *ast.UnaryExpr:
+		return hookLits(e.X)
+	}
+	return nil
+}
+
+func namedAs(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// checkHook walks one hook body and reports every nondeterministic
+// source it touches.
+func checkHook(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		// Only package-level functions: methods ride on a flagged
+		// receiver (the capture check below) or a flagged constructor
+		// call, and flagging them too would double-report every line.
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Type().(*types.Signature).Recv() == nil {
+			if why, bad := forbiddenPkgs[fn.Pkg().Path()]; bad {
+				pass.Reportf(id.Pos(),
+					"fault hook reads %s via %s.%s; hooks must be deterministic functions of their arguments and captured counters",
+					why, fn.Pkg().Name(), id.Name)
+				return true
+			}
+		}
+		// A captured *rand.Rand is order-dependent shared state even
+		// when explicitly seeded: whichever consumer draws first
+		// changes every later decision.
+		if v, ok := obj.(*types.Var); ok {
+			if tn := v.Type().String(); strings.HasSuffix(tn, "math/rand.Rand") || strings.HasSuffix(tn, "math/rand/v2.Rand") {
+				pass.Reportf(id.Pos(),
+					"fault hook captures rand state %q; derive decisions from hashed counters (internal/fault) instead",
+					id.Name)
+			}
+		}
+		return true
+	})
+}

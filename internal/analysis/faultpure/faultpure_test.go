@@ -1,0 +1,20 @@
+package faultpure
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestFaultpure(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}
+
+func TestApplies(t *testing.T) {
+	if !Analyzer.Applies("github.com/tintmalloc/tintmalloc/internal/fault") {
+		t.Error("faultpure must apply to internal simulator packages")
+	}
+	if Analyzer.Applies("github.com/tintmalloc/tintmalloc/cmd/tintbench") {
+		t.Error("faultpure must not apply outside internal/")
+	}
+}

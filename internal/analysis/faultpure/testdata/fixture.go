@@ -1,0 +1,73 @@
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Local stand-ins for the kernel/buddy hook installers; matching is
+// by method name, so the fixture stays stdlib-only.
+
+type hook func(order int) bool
+
+type kernelish struct{}
+
+func (k *kernelish) SetFaultHook(h hook)            {}
+func (k *kernelish) SetZoneFaultHook(n int, h hook) {}
+func (k *kernelish) SetFaultHooks(h FaultHooks)     {}
+
+// FaultHooks mirrors kernel.FaultHooks.
+type FaultHooks struct {
+	Refill  func(node int) bool
+	Migrate func(taskID int, vpage uint64) bool
+}
+
+// flagged: hooks reaching for nondeterministic sources.
+func bad(k *kernelish, rng *rand.Rand) {
+	k.SetFaultHook(func(order int) bool {
+		return time.Now().UnixNano()%2 == 0 // want "fault hook reads wall-clock state via time.Now"
+	})
+	k.SetZoneFaultHook(0, func(order int) bool {
+		return rng.Intn(2) == 0 // want "fault hook captures rand state \"rng\""
+	})
+	k.SetFaultHooks(FaultHooks{
+		Refill: func(node int) bool {
+			return os.Getenv("CHAOS") != "" // want "fault hook reads process environment via os.Getenv"
+		},
+		Migrate: func(taskID int, vpage uint64) bool {
+			return rand.Intn(2) == 0 // want "fault hook reads shared rand state via rand.Intn"
+		},
+	})
+}
+
+// flagged: a FaultHooks literal built away from the install site.
+func badIndirect() FaultHooks {
+	return FaultHooks{
+		Refill: func(node int) bool {
+			return time.Since(time.Time{}) > 0 // want "fault hook reads wall-clock state via time.Since"
+		},
+	}
+}
+
+// allowed: pure functions of arguments and captured counters — the
+// shape internal/fault generates.
+func good(k *kernelish, seed uint64) {
+	var seq uint64
+	k.SetFaultHook(func(order int) bool {
+		seq++
+		h := (seed ^ seq ^ uint64(order)) * 0x9e3779b97f4a7c15
+		return h%1000 < 60
+	})
+	k.SetFaultHooks(FaultHooks{
+		Refill:  func(node int) bool { return node == 0 },
+		Migrate: func(taskID int, vpage uint64) bool { return vpage&1 == 1 },
+	})
+}
+
+// allowed: an acknowledged exemption via the escape hatch.
+func exempt(k *kernelish) {
+	k.SetFaultHook(func(order int) bool {
+		return time.Now().Unix()%2 == 0 //tintvet:ignore faultpure: fixture exercises the escape hatch
+	})
+}

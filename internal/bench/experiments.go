@@ -71,12 +71,12 @@ type SuiteRow struct {
 
 // NormRuntime returns a bar's mean runtime normalized to buddy.
 func (r *SuiteRow) NormRuntime(c Cell) float64 {
-	return stats.Ratio(c.Runtime.Mean, r.Buddy.Runtime.Mean)
+	return stats.NormRatio(c.Runtime.Mean, r.Buddy.Runtime.Mean)
 }
 
 // NormIdle returns a bar's mean total idle normalized to buddy.
 func (r *SuiteRow) NormIdle(c Cell) float64 {
-	return stats.Ratio(c.Idle.Mean, r.Buddy.Idle.Mean)
+	return stats.NormRatio(c.Idle.Mean, r.Buddy.Idle.Mean)
 }
 
 // SuiteResult holds the full benchmark matrix behind Figs. 11 and 12.
@@ -329,8 +329,8 @@ func (d *DetailResult) WriteTable(w io.Writer) {
 	for _, r := range d.Rows {
 		fmt.Fprintf(w, "%-14s %9.3f %9.3f %7.1f%% %7.1f%% %7.1f%%\n",
 			r.Policy.String(),
-			stats.Ratio(r.Cell.Runtime.Mean, base.Runtime.Mean),
-			stats.Ratio(r.Cell.Idle.Mean, base.Idle.Mean),
+			stats.NormRatio(r.Cell.Runtime.Mean, base.Runtime.Mean),
+			stats.NormRatio(r.Cell.Idle.Mean, base.Idle.Mean),
 			r.Cell.Last.RemoteDRAMFrac*100,
 			r.Cell.Last.L3MissRate*100,
 			r.Cell.Last.RowConflictFrac*100)

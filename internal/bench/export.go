@@ -143,3 +143,41 @@ func (d *DetailResult) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteCSV exports the chaos matrix: one row per (workload, plan)
+// with degradation and memory-system columns.
+func (c *ChaosResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "plan", "config", "policy", "oom",
+		"runtime", "vs_clean",
+		"degraded_borrow", "degraded_local_uncolored", "degraded_remote", "degraded_rate",
+		"loans_outstanding", "loans_reclaimed", "parked_reclaimed",
+		"injected", "squeeze_denials", "audits",
+		"remote_frac", "l3_miss_rate", "row_conflict_frac",
+	}); err != nil {
+		return err
+	}
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		if err := cw.Write([]string{
+			r.Workload, r.Plan, c.Config.Name, c.Policy, strconv.FormatBool(r.OOM),
+			fmtD(r.Metrics.Runtime), fmtF(c.VsClean(r)),
+			strconv.FormatUint(r.Kern.DegradedAllocs[0], 10),
+			strconv.FormatUint(r.Kern.DegradedAllocs[1], 10),
+			strconv.FormatUint(r.Kern.DegradedAllocs[2], 10),
+			fmtF(r.DegradedRate()),
+			strconv.Itoa(r.Loans),
+			strconv.FormatUint(r.Kern.LoansReclaimed, 10),
+			strconv.FormatUint(r.Kern.ParkedReclaimed, 10),
+			strconv.FormatUint(r.Inj.TotalInjected(), 10),
+			strconv.FormatUint(r.Inj.SqueezeDenials, 10),
+			strconv.Itoa(r.Audits),
+			fmtF(r.Metrics.RemoteDRAMFrac), fmtF(r.Metrics.L3MissRate), fmtF(r.Metrics.RowConflictFrac),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -194,3 +194,57 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 	}
 	return writeJSON(w, out)
 }
+
+// WriteJSON exports the chaos matrix.
+func (c *ChaosResult) WriteJSON(w io.Writer) error {
+	type row struct {
+		Workload        string  `json:"workload"`
+		Plan            string  `json:"plan"`
+		OOM             bool    `json:"oom"`
+		Runtime         uint64  `json:"runtime_cycles"`
+		VsClean         float64 `json:"vs_clean"`
+		DegradedBorrow  uint64  `json:"degraded_borrow"`
+		DegradedLocal   uint64  `json:"degraded_local_uncolored"`
+		DegradedRemote  uint64  `json:"degraded_remote"`
+		DegradedRate    float64 `json:"degraded_rate"`
+		Loans           int     `json:"loans_outstanding"`
+		LoansReclaimed  uint64  `json:"loans_reclaimed"`
+		ParkedReclaimed uint64  `json:"parked_reclaimed"`
+		Injected        uint64  `json:"injected"`
+		SqueezeDenials  uint64  `json:"squeeze_denials"`
+		Audits          int     `json:"audits"`
+		RemoteFrac      float64 `json:"remote_frac"`
+		L3MissRate      float64 `json:"l3_miss_rate"`
+		RowConflictFrac float64 `json:"row_conflict_frac"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		Config     string `json:"config"`
+		Policy     string `json:"policy"`
+		Rows       []row  `json:"rows"`
+	}{Experiment: "chaos", Config: c.Config.Name, Policy: c.Policy}
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		vs := c.VsClean(r)
+		if r.OOM {
+			// NaN would (deliberately) fail the JSON encoder; the oom
+			// flag carries the "no comparable runtime" signal instead.
+			vs = 0
+		}
+		out.Rows = append(out.Rows, row{
+			Workload: r.Workload, Plan: r.Plan, OOM: r.OOM,
+			Runtime: uint64(r.Metrics.Runtime), VsClean: vs,
+			DegradedBorrow: r.Kern.DegradedAllocs[0],
+			DegradedLocal:  r.Kern.DegradedAllocs[1],
+			DegradedRemote: r.Kern.DegradedAllocs[2],
+			DegradedRate:   r.DegradedRate(),
+			Loans:          r.Loans,
+			LoansReclaimed: r.Kern.LoansReclaimed, ParkedReclaimed: r.Kern.ParkedReclaimed,
+			Injected: r.Inj.TotalInjected(), SqueezeDenials: r.Inj.SqueezeDenials,
+			Audits:     r.Audits,
+			RemoteFrac: r.Metrics.RemoteDRAMFrac, L3MissRate: r.Metrics.L3MissRate,
+			RowConflictFrac: r.Metrics.RowConflictFrac,
+		})
+	}
+	return writeJSON(w, out)
+}

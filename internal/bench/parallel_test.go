@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/tintmalloc/tintmalloc/internal/fault"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
@@ -81,6 +82,20 @@ func TestParallelExperimentsMatchSequential(t *testing.T) {
 			}
 			var sb strings.Builder
 			r.WriteTable(&sb)
+			err = r.WriteJSON(&sb)
+			return sb.String(), err
+		}},
+		{"chaos", func(workers int) (string, error) {
+			r, err := RunChaos(mach, cfg, "MEM+LLC", []workload.Workload{wl},
+				fault.Plans(), params, workers)
+			if err != nil {
+				return "", err
+			}
+			var sb strings.Builder
+			r.WriteTable(&sb)
+			if err := r.WriteCSV(&sb); err != nil {
+				return "", err
+			}
 			err = r.WriteJSON(&sb)
 			return sb.String(), err
 		}},

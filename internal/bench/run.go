@@ -6,6 +6,7 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/clock"
 	"github.com/tintmalloc/tintmalloc/internal/engine"
 	"github.com/tintmalloc/tintmalloc/internal/heap"
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
 	"github.com/tintmalloc/tintmalloc/internal/mem"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/stats"
@@ -41,6 +42,18 @@ type RunMetrics struct {
 
 // Run executes one cell on fresh machine state.
 func Run(mach *Machine, spec RunSpec) (RunMetrics, error) {
+	return RunInstrumented(mach, spec, nil)
+}
+
+// RunInstrumented is Run with a hook between machine boot and
+// workload execution: instrument (if non-nil) receives the freshly
+// built kernel and engine after tasks are created and colored but
+// before any page is mapped, so callers can wire fault injectors,
+// audit hooks or tracers into the run. The chaos harness is the main
+// customer. Instrument functions must obey the scatter/gather
+// determinism contract (pure function of the spec; no shared mutable
+// state), or -parallel stops being output-neutral.
+func RunInstrumented(mach *Machine, spec RunSpec, instrument func(*kernel.Kernel, *engine.Engine)) (RunMetrics, error) {
 	var out RunMetrics
 	ms, err := mem.New(mach.Topo, mach.Mapping, mach.MemCfg)
 	if err != nil {
@@ -69,6 +82,9 @@ func Run(mach *Machine, spec RunSpec) (RunMetrics, error) {
 	e, err := engine.New(ms, threads)
 	if err != nil {
 		return out, err
+	}
+	if instrument != nil {
+		instrument(k, e)
 	}
 	phases, err := spec.Workload.Build(threads, spec.Params)
 	if err != nil {

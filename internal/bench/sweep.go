@@ -103,7 +103,7 @@ func RunSweep(param SweepParam, values []float64, wl workload.Workload, cfgName 
 			Value:     v,
 			Buddy:     buddy.Runtime,
 			MEMLLC:    colored.Runtime,
-			RatioMean: stats.Ratio(colored.Runtime.Mean, buddy.Runtime.Mean),
+			RatioMean: stats.NormRatio(colored.Runtime.Mean, buddy.Runtime.Mean),
 		})
 	}
 	return out, nil

@@ -31,6 +31,14 @@ var ErrNoMemory = errors.New("buddy: out of memory")
 
 const nilFrame = int64(-1)
 
+// FaultHook vets every allocation request before the free lists are
+// touched; returning true makes the request fail exactly as if the
+// zone were out of memory. Hooks exist for fault injection
+// (internal/fault) and must be deterministic functions of their
+// arguments and the hook's own state — no wall clock, no global rand
+// (tintvet's faultpure analyzer enforces this).
+type FaultHook func(order int) bool
+
 // Allocator manages the frame range [0, Frames()).
 type Allocator struct {
 	nframes uint64
@@ -39,7 +47,12 @@ type Allocator struct {
 	prev    []int64
 	freeOrd []int8 // order of the free block headed at frame, or -1
 	free    uint64 // total free frames
+	fault   FaultHook
 }
+
+// SetFaultHook installs (or, with nil, removes) the allocator's fault
+// hook. Clone never copies the hook: a cloned zone is a fresh machine.
+func (a *Allocator) SetFaultHook(h FaultHook) { a.fault = h }
 
 // New creates an allocator over nframes frames, all initially free.
 // nframes need not be a power of two; the range is seeded with the
@@ -88,6 +101,8 @@ func New(nframes uint64) (*Allocator, error) {
 // Clone returns a deep copy of the allocator: same free lists, same
 // deterministic future behaviour, fully independent state. Used to
 // stamp out identical pre-aged zones for repeated experiment runs.
+// An installed fault hook is deliberately not copied: clones are
+// fresh, healthy machines until a harness wires its own injector.
 func (a *Allocator) Clone() *Allocator {
 	c := &Allocator{
 		nframes: a.nframes,
@@ -148,6 +163,9 @@ func (a *Allocator) Alloc(order int) (phys.Frame, error) {
 	if order < 0 || order > MaxOrder {
 		return 0, fmt.Errorf("buddy: order %d out of range [0,%d]", order, MaxOrder)
 	}
+	if a.fault != nil && a.fault(order) {
+		return 0, ErrNoMemory
+	}
 	for i := order; i <= MaxOrder; i++ {
 		if a.head[i] == nilFrame {
 			continue
@@ -173,6 +191,9 @@ func (a *Allocator) AllocExact(order int) (phys.Frame, bool) {
 	if order < 0 || order > MaxOrder || a.head[order] == nilFrame {
 		return 0, false
 	}
+	if a.fault != nil && a.fault(order) {
+		return 0, false
+	}
 	f := phys.Frame(a.head[order])
 	a.remove(f, order)
 	a.free -= 1 << order
@@ -186,6 +207,9 @@ func (a *Allocator) AllocExact(order int) (phys.Frame, bool) {
 // free_list to find an available free page of such a color").
 func (a *Allocator) AllocMatching(order int, match func(head phys.Frame, order int) bool) (phys.Frame, bool) {
 	if order < 0 || order > MaxOrder {
+		return 0, false
+	}
+	if a.fault != nil && a.fault(order) {
 		return 0, false
 	}
 	for i := a.head[order]; i != nilFrame; i = a.next[i] {

@@ -1,0 +1,256 @@
+// Package fault is the deterministic fault injector behind the chaos
+// harness (`tintbench -exp chaos`). It wires the kernel's fault hooks
+// (kernel.SetFaultHooks, kernel.SetZoneFaultHook) to a seed-driven
+// decision stream, so a run under injected buddy OOM, color-refill
+// starvation, migration failure or a per-node capacity squeeze is
+// exactly as reproducible as a clean run: the same seed and plan
+// produce the same injections at the same points, at any -parallel
+// worker count.
+//
+// Determinism contract (DESIGN.md Sec. 10): every decision is a pure
+// function of (seed, site, rule, per-site sequence number, salt). The
+// sequence numbers are the injector's own logical clock — they count
+// consultations, which the simulator performs in a deterministic
+// order — so no wall clock or global rand is ever consulted. tintvet's
+// faultpure analyzer enforces the same property on any hand-written
+// hook.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+)
+
+// Site identifies a fault-injection point in the kernel.
+type Site int
+
+const (
+	// SiteBuddyAlloc vets buddy-zone allocations (Alloc, AllocExact,
+	// AllocMatching); an injection makes the zone report OOM.
+	SiteBuddyAlloc Site = iota
+	// SiteRefill vets color-list refills; an injection fails the
+	// refill from one zone, pushing the allocation toward the
+	// degradation ladder.
+	SiteRefill
+	// SiteMigrate vets individual page copies inside Migrate; an
+	// injection leaves the page on its old frame.
+	SiteMigrate
+	// NumSites sizes per-site counters.
+	NumSites
+)
+
+// String returns the site's report label.
+func (s Site) String() string {
+	switch s {
+	case SiteBuddyAlloc:
+		return "buddy-alloc"
+	case SiteRefill:
+		return "refill"
+	case SiteMigrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+}
+
+// Rule makes one site fail probabilistically.
+type Rule struct {
+	Site Site
+	// Node restricts the rule to one node's zone; -1 matches every
+	// node. SiteMigrate carries no node and ignores the field.
+	Node int
+	// Permille is the injection probability in thousandths (300 fails
+	// roughly 30% of consultations).
+	Permille int
+	// After skips the site's first After consultations, letting a
+	// workload warm up on healthy memory before the faults start.
+	After uint64
+	// Limit caps the rule's total injections; 0 means unlimited.
+	Limit uint64
+}
+
+// Squeeze reserves a fraction of one node's initially-free frames:
+// the zone reports OOM whenever serving a request would dip into the
+// reserve. It models a co-located memory hog without simulating one.
+type Squeeze struct {
+	Node int
+	// Frac is the reserved fraction of the node's free frames at Wire
+	// time, in (0, 1].
+	Frac float64
+}
+
+// Plan is a named fault scenario: probabilistic rules plus capacity
+// squeezes.
+type Plan struct {
+	Name        string
+	Description string
+	Rules       []Rule
+	Squeezes    []Squeeze
+}
+
+// Stats counts the injector's activity.
+type Stats struct {
+	Decisions      [NumSites]uint64 // consultations per site
+	Injected       [NumSites]uint64 // faults fired per site
+	SqueezeDenials uint64           // OOMs forced by capacity squeezes
+}
+
+// TotalInjected sums injections across sites and squeezes.
+func (s Stats) TotalInjected() uint64 {
+	var t uint64
+	for _, n := range s.Injected {
+		t += n
+	}
+	return t + s.SqueezeDenials
+}
+
+// Injector evaluates a Plan against a deterministic decision stream.
+// Build one per simulated kernel (Wire installs its hooks); it is not
+// safe for concurrent use, matching the kernel it instruments.
+type Injector struct {
+	seed     uint64
+	plan     Plan
+	seq      [NumSites]uint64 // per-site consultation counters
+	ruleHits []uint64         // per-rule injections, for Limit
+	stats    Stats
+}
+
+// New builds an injector for plan driven by seed. Two injectors with
+// the same seed and plan produce identical decision streams.
+func New(seed uint64, plan Plan) *Injector {
+	return &Injector{seed: seed, plan: plan, ruleHits: make([]uint64, len(plan.Rules))}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a copy of the activity counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche over
+// uint64, the standard cheap way to turn a structured counter into
+// uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide consults the plan's rules for one event at site. node is the
+// zone involved (-1 when the site has none) and salt folds in any
+// further event identity (e.g. the vpage a migration moves), so rules
+// at the same sequence number on different objects draw independent
+// bits.
+func (in *Injector) decide(site Site, node int, salt uint64) bool {
+	in.stats.Decisions[site]++
+	seq := in.seq[site]
+	in.seq[site]++
+	for i, r := range in.plan.Rules {
+		if r.Site != site {
+			continue
+		}
+		if r.Node >= 0 && node >= 0 && r.Node != node {
+			continue
+		}
+		if seq < r.After {
+			continue
+		}
+		if r.Limit > 0 && in.ruleHits[i] >= r.Limit {
+			continue
+		}
+		h := splitmix64(in.seed ^ splitmix64(uint64(site)<<32|uint64(i)) ^ splitmix64(seq) ^ salt)
+		if int(h%1000) < r.Permille {
+			in.ruleHits[i]++
+			in.stats.Injected[site]++
+			return true
+		}
+	}
+	return false
+}
+
+// Wire installs the injector's hooks on k: a per-zone buddy hook
+// combining the capacity squeezes with SiteBuddyAlloc rules, and the
+// kernel-level refill and migrate hooks. Squeeze reserves are sized
+// from each node's free frames at call time, so Wire belongs right
+// after kernel boot, before the workload maps anything.
+func (in *Injector) Wire(k *kernel.Kernel) error {
+	nodes := k.Topology().Nodes()
+	reserve := make([]uint64, nodes)
+	for _, s := range in.plan.Squeezes {
+		if s.Node < 0 || s.Node >= nodes {
+			return fmt.Errorf("fault: plan %q squeezes node %d of a %d-node machine", in.plan.Name, s.Node, nodes)
+		}
+		if s.Frac <= 0 || s.Frac > 1 {
+			return fmt.Errorf("fault: plan %q squeeze frac %v outside (0, 1]", in.plan.Name, s.Frac)
+		}
+		reserve[s.Node] = uint64(s.Frac * float64(k.FreeFramesOfNode(s.Node)))
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		k.SetZoneFaultHook(n, func(order int) bool {
+			if reserve[n] > 0 && k.FreeFramesOfNode(n) < reserve[n]+uint64(1)<<order {
+				in.stats.SqueezeDenials++
+				return true
+			}
+			return in.decide(SiteBuddyAlloc, n, uint64(order))
+		})
+	}
+	k.SetFaultHooks(kernel.FaultHooks{
+		Refill: func(node int) bool {
+			return in.decide(SiteRefill, node, 0)
+		},
+		Migrate: func(taskID int, vpage uint64) bool {
+			return in.decide(SiteMigrate, -1, splitmix64(uint64(taskID))^vpage)
+		},
+	})
+	return nil
+}
+
+// Plans returns the named chaos scenarios `tintbench -exp chaos`
+// runs, in report order.
+func Plans() []Plan {
+	return []Plan{
+		{
+			Name:        "buddy-oom",
+			Description: "zones intermittently report OOM after a warm-up",
+			Rules:       []Rule{{Site: SiteBuddyAlloc, Node: -1, Permille: 60, After: 200}},
+		},
+		{
+			Name:        "refill-starve",
+			Description: "color-list refills fail often, forcing the ladder",
+			Rules:       []Rule{{Site: SiteRefill, Node: -1, Permille: 350}},
+		},
+		{
+			Name:        "migrate-flaky",
+			Description: "page migrations drop a quarter of their copies",
+			Rules:       []Rule{{Site: SiteMigrate, Node: -1, Permille: 250}},
+		},
+		{
+			Name:        "node0-squeeze",
+			Description: "60% of node 0's memory is reserved by a phantom hog",
+			Squeezes:    []Squeeze{{Node: 0, Frac: 0.6}},
+		},
+		{
+			Name:        "pressure-storm",
+			Description: "everything at once: OOM, starved refills, squeezed nodes",
+			Rules: []Rule{
+				{Site: SiteBuddyAlloc, Node: -1, Permille: 40, After: 100},
+				{Site: SiteRefill, Node: -1, Permille: 200},
+				{Site: SiteMigrate, Node: -1, Permille: 150},
+			},
+			Squeezes: []Squeeze{{Node: 0, Frac: 0.4}, {Node: 1, Frac: 0.25}},
+		},
+	}
+}
+
+// PlanByName finds a named plan.
+func PlanByName(name string) (Plan, error) {
+	for _, p := range Plans() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Plan{}, fmt.Errorf("fault: unknown plan %q", name)
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/kernel"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+func testPlan(permille int) Plan {
+	return Plan{Name: "test", Rules: []Rule{
+		{Site: SiteBuddyAlloc, Node: -1, Permille: permille},
+	}}
+}
+
+// Two injectors with the same seed and plan must produce identical
+// decision streams; a different seed must diverge somewhere.
+func TestDeterminism(t *testing.T) {
+	a := New(42, testPlan(300))
+	b := New(42, testPlan(300))
+	c := New(43, testPlan(300))
+	var differs bool
+	for i := 0; i < 2000; i++ {
+		da := a.decide(SiteBuddyAlloc, i%4, uint64(i%3))
+		db := b.decide(SiteBuddyAlloc, i%4, uint64(i%3))
+		if da != db {
+			t.Fatalf("decision %d: same seed diverged", i)
+		}
+		if dc := c.decide(SiteBuddyAlloc, i%4, uint64(i%3)); dc != da {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds never diverged in 2000 decisions")
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v != %+v", a.Stats(), b.Stats())
+	}
+}
+
+// Injection frequency must track Permille roughly (the hash is
+// uniform), with 0 and 1000 exact.
+func TestRate(t *testing.T) {
+	for _, tc := range []struct{ permille, lo, hi int }{
+		{0, 0, 0},
+		{1000, 4000, 4000},
+		{300, 1000, 1600},
+	} {
+		in := New(7, testPlan(tc.permille))
+		hits := 0
+		for i := 0; i < 4000; i++ {
+			if in.decide(SiteBuddyAlloc, 0, 0) {
+				hits++
+			}
+		}
+		if hits < tc.lo || hits > tc.hi {
+			t.Errorf("permille %d: %d/4000 injections, want [%d, %d]", tc.permille, hits, tc.lo, tc.hi)
+		}
+	}
+}
+
+// After skips the site's first consultations; Limit caps the total.
+func TestAfterAndLimit(t *testing.T) {
+	in := New(1, Plan{Name: "t", Rules: []Rule{
+		{Site: SiteRefill, Node: -1, Permille: 1000, After: 10, Limit: 5},
+	}})
+	hits := 0
+	for i := 0; i < 100; i++ {
+		fired := in.decide(SiteRefill, 0, 0)
+		if i < 10 && fired {
+			t.Fatalf("injection at consultation %d, before After=10", i)
+		}
+		if fired {
+			hits++
+		}
+	}
+	if hits != 5 {
+		t.Errorf("got %d injections, want Limit=5", hits)
+	}
+}
+
+// A node-scoped rule must leave other nodes untouched, and sites must
+// not bleed into each other.
+func TestScoping(t *testing.T) {
+	in := New(9, Plan{Name: "t", Rules: []Rule{
+		{Site: SiteBuddyAlloc, Node: 2, Permille: 1000},
+	}})
+	for i := 0; i < 50; i++ {
+		if in.decide(SiteBuddyAlloc, 1, 0) {
+			t.Fatal("node-2 rule fired on node 1")
+		}
+		if in.decide(SiteRefill, 2, 0) {
+			t.Fatal("buddy-alloc rule fired at the refill site")
+		}
+		if !in.decide(SiteBuddyAlloc, 2, 0) {
+			t.Fatal("node-2 rule missed node 2 at permille 1000")
+		}
+	}
+	st := in.Stats()
+	if st.Injected[SiteBuddyAlloc] != 50 || st.Injected[SiteRefill] != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Decisions[SiteBuddyAlloc] != 100 || st.Decisions[SiteRefill] != 50 {
+		t.Errorf("decisions = %+v", st)
+	}
+}
+
+func TestPlanByName(t *testing.T) {
+	for _, p := range Plans() {
+		got, err := PlanByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("PlanByName(%q) = %+v, %v", p.Name, got, err)
+		}
+		if p.Description == "" {
+			t.Errorf("plan %q has no description", p.Name)
+		}
+	}
+	if _, err := PlanByName("no-such-plan"); err == nil {
+		t.Error("unknown plan name returned nil error")
+	}
+}
+
+func bootKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(64<<20, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(top, m, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// Wire on a real kernel: a full squeeze on node 0 denies its zone
+// while allocations still succeed via the ladder, and the denials are
+// counted.
+func TestWireSqueeze(t *testing.T) {
+	k := bootKernel(t)
+	in := New(5, Plan{Name: "t", Squeezes: []Squeeze{{Node: 0, Frac: 1.0}}})
+	if err := in.Wire(k); err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.NewProcess().NewTask(0) // core 0 lives on node 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := task.Mmap(0, 8*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if _, _, err := task.Translate(va + p*phys.PageSize); err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		f, _ := task.FrameOfVA(va + p*phys.PageSize)
+		if n := k.Mapping().NodeOfFrame(f); n == 0 {
+			t.Errorf("page %d landed on squeezed node 0", p)
+		}
+	}
+	if in.Stats().SqueezeDenials == 0 {
+		t.Error("no squeeze denials counted")
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	k := bootKernel(t)
+	if err := New(1, Plan{Name: "bad", Squeezes: []Squeeze{{Node: 99, Frac: 0.5}}}).Wire(k); err == nil {
+		t.Error("out-of-range squeeze node accepted")
+	}
+	if err := New(1, Plan{Name: "bad", Squeezes: []Squeeze{{Node: 0, Frac: 1.5}}}).Wire(k); err == nil {
+		t.Error("squeeze frac above 1 accepted")
+	}
+}

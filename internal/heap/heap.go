@@ -158,17 +158,23 @@ func (h *Heap) Calloc(n, size uint64) (uint64, error) {
 	return h.Malloc(n * size)
 }
 
-// Realloc resizes an allocation, returning the (possibly moved) block.
+// Realloc resizes an allocation, returning the (possibly moved)
+// block. Realloc(va, 0) frees the block and returns 0 (C11's
+// implementation-defined corner, pinned here to the free-and-NULL
+// behaviour) rather than surfacing Malloc's ErrBadSize.
 func (h *Heap) Realloc(va uint64, size uint64) (uint64, error) {
 	if va == 0 {
 		return h.Malloc(size)
+	}
+	if size == 0 {
+		return 0, h.Free(va)
 	}
 	a, ok := h.live[va]
 	if !ok {
 		return 0, fmt.Errorf("%w: realloc of %#x", ErrInvalidFree, va)
 	}
 	// Still fits in place?
-	if a.class >= 0 && size > 0 && size <= sizeClasses[a.class] {
+	if a.class >= 0 && size <= sizeClasses[a.class] {
 		return va, nil
 	}
 	if a.class < 0 && size > HugeThreshold && (size+phys.PageSize-1)/phys.PageSize == a.pages {
@@ -179,6 +185,12 @@ func (h *Heap) Realloc(va uint64, size uint64) (uint64, error) {
 		return 0, err
 	}
 	if err := h.Free(va); err != nil {
+		// Unwind the fresh block: returning the error while keeping
+		// nva live would leak it, since the caller only ever learns
+		// about one block.
+		if uerr := h.Free(nva); uerr != nil {
+			return 0, fmt.Errorf("%w (and unwinding the new block failed: %v)", err, uerr)
+		}
 		return 0, err
 	}
 	return nva, nil
@@ -243,6 +255,12 @@ func (h *Heap) Trim() (released int, err error) {
 		released++
 	}
 	h.stats.SlabsTrimmed += uint64(released)
+	// Returning slabs is the signal that pressure subsided: give the
+	// kernel the chance to migrate this task's degradation-ladder
+	// loans back onto their preferred placement (DESIGN.md Sec. 10).
+	if released > 0 {
+		h.task.ReclaimLoans()
+	}
 	return released, nil
 }
 

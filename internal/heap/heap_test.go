@@ -361,3 +361,119 @@ func TestTrimThenReuseSoak(t *testing.T) {
 		t.Errorf("LiveAllocations = %d, want %d", h.LiveAllocations(), len(live))
 	}
 }
+
+// Realloc(va, 0) is pinned to C11's free-and-NULL corner: the block
+// is released and (0, nil) comes back, never ErrBadSize.
+func TestReallocZeroFrees(t *testing.T) {
+	h, _ := newHeap(t)
+	va, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Realloc(va, 0)
+	if got != 0 || err != nil {
+		t.Fatalf("Realloc(va, 0) = %#x, %v; want 0, nil", got, err)
+	}
+	if _, ok := h.SizeOf(va); ok {
+		t.Error("block still live after Realloc(va, 0)")
+	}
+	if err := h.Free(va); !errors.Is(err, ErrInvalidFree) {
+		t.Errorf("free after Realloc(va, 0) = %v, want ErrInvalidFree", err)
+	}
+	if h.Stats().BytesLive != 0 || h.LiveAllocations() != 0 {
+		t.Errorf("BytesLive = %d, LiveAllocations = %d after realloc-free",
+			h.Stats().BytesLive, h.LiveAllocations())
+	}
+}
+
+// When the move succeeds but freeing the old block fails, Realloc
+// must unwind the fresh block instead of leaking it: the caller only
+// ever learns about one address.
+func TestReallocUnwindOnFreeFailure(t *testing.T) {
+	h, _ := newHeap(t)
+	va, err := h.Malloc(3 * phys.PageSize) // huge: dedicated mapping
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the region out from under the heap so the eventual
+	// Free(va) -> Munmap fails with ErrSegfault.
+	if err := h.task.Munmap(va, 3*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	nva, err := h.Realloc(va, 5*phys.PageSize) // page count changes: must move
+	if !errors.Is(err, kernel.ErrSegfault) {
+		t.Fatalf("Realloc over a vanished region = %#x, %v; want ErrSegfault", nva, err)
+	}
+	if nva != 0 {
+		t.Errorf("failed Realloc returned address %#x", nva)
+	}
+	if h.LiveAllocations() != 0 {
+		t.Errorf("LiveAllocations = %d: the fresh block leaked", h.LiveAllocations())
+	}
+	if h.Stats().BytesLive != 0 {
+		t.Errorf("BytesLive = %d after unwind", h.Stats().BytesLive)
+	}
+	// The heap is still usable.
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Trim's returned slabs signal that pressure subsided: surviving
+// degradation-ladder loans are migrated back onto preferred colors.
+func TestTrimReclaimsLoans(t *testing.T) {
+	h, k := newHeap(t)
+	m := k.Mapping()
+	task := h.Task()
+	for _, c := range m.BankColorsOfNode(0)[:2] {
+		if _, err := task.Mmap(uint64(c)|kernel.SetMemColor, 0, kernel.ColorAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Starve every color-list refill: colored faults fall down the
+	// ladder and the heap's slab frames arrive as loans.
+	k.SetFaultHooks(kernel.FaultHooks{Refill: func(int) bool { return true }})
+	var vas []uint64
+	for i := 0; i < 16; i++ { // two 512-byte slabs
+		va, err := h.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas = append(vas, va)
+	}
+	for _, va := range []uint64{vas[0], vas[8]} {
+		if _, _, err := task.Translate(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Loans() != 2 {
+		t.Fatalf("Loans = %d after faulting both slabs, want 2", k.Loans())
+	}
+	// Pressure subsides: faults clear, and the first slab empties.
+	k.SetFaultHooks(kernel.FaultHooks{})
+	for _, va := range vas[:8] {
+		if err := h.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := h.Trim()
+	if err != nil || n != 1 {
+		t.Fatalf("Trim = %d, %v; want 1 slab", n, err)
+	}
+	// Slab one's loan was settled by the unmap; slab two's was
+	// migrated back by the reclaim pass Trim triggers.
+	if k.Loans() != 0 {
+		t.Errorf("Loans = %d after Trim, want 0", k.Loans())
+	}
+	if got := k.Stats().LoansReclaimed; got != 1 {
+		t.Errorf("LoansReclaimed = %d, want 1", got)
+	}
+	f, ok := task.FrameOfVA(vas[8])
+	if !ok {
+		t.Fatal("surviving slab page not resident after reclaim")
+	}
+	bc, _ := k.FrameColors(f)
+	if !task.OwnsBankColor(bc) {
+		t.Errorf("reclaimed page sits on bank color %d, not owned by the task", bc)
+	}
+}

@@ -46,7 +46,10 @@ type Report struct {
 	// permanently-resident "other process" memory, which shows up
 	// here by design.
 	Unaccounted uint64
-	Violations  []string
+	// Loans counts outstanding degradation-ladder loans (frames
+	// handed out below preferred placement; DESIGN.md Sec. 10).
+	Loans      uint64
+	Violations []string
 }
 
 // Err returns nil for a clean report and an error summarizing the
@@ -89,6 +92,10 @@ var ownerName = [...]string{"none", "buddy free list", "color list", "page table
 //  4. Every live entry of every task's simulated TLB maps a vpage to
 //     exactly the frame the process page table holds — a stale entry
 //     means a missed shootdown.
+//  5. Every degradation-ladder loan backs a resident page of its
+//     borrower at the recorded virtual page, and a same-node color
+//     borrow never holds a color inside another task's private set —
+//     the plan-disjointness guarantee with loans accounted for.
 //
 // The caller decides what Unaccounted must be: 0 for pristine
 // kernels, the churn holdout for aged ones.
@@ -165,6 +172,44 @@ func Audit(k *kernel.Kernel) *Report {
 			})
 		}
 	}
+
+	r.Loans = uint64(k.Loans())
+	k.VisitLoans(func(f phys.Frame, bt *kernel.Task, vp uint64, rung kernel.Rung) {
+		got, ok := bt.FrameOfVA(vp << phys.PageShift)
+		switch {
+		case !ok:
+			r.addf("loan of frame %d to task %d (vpage %#x, rung %s) is dangling: page not resident",
+				f, bt.ID(), vp, rung)
+			return
+		case got != f:
+			r.addf("loan of frame %d to task %d (vpage %#x) disagrees with the page table, which maps it to frame %d",
+				f, bt.ID(), vp, got)
+			return
+		}
+		if rung != kernel.RungBorrowColor {
+			return
+		}
+		// A borrow promises a color no other task owns; an overlap
+		// means the ladder (or a later color grant) silently broke a
+		// policy's exclusivity guarantee. Uncolored borrowers make no
+		// color claim and are skipped.
+		bc, lc := k.FrameColors(f)
+		for _, p := range k.Processes() {
+			for _, o := range p.Tasks() {
+				if o.ID() == bt.ID() {
+					continue
+				}
+				if bt.UsingBank() && o.OwnsBankColor(bc) {
+					r.addf("frame %d borrowed by task %d carries bank color %d, which is assigned to task %d",
+						f, bt.ID(), bc, o.ID())
+				}
+				if !bt.UsingBank() && bt.UsingLLC() && o.OwnsLLCColor(lc) {
+					r.addf("frame %d borrowed by task %d carries LLC color %d, which is assigned to task %d",
+						f, bt.ID(), lc, o.ID())
+				}
+			}
+		}
+	})
 
 	for _, o := range owner {
 		if o == ownerNone {

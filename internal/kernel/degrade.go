@@ -1,0 +1,309 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tintmalloc/tintmalloc/internal/buddy"
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+)
+
+// The degradation ladder (DESIGN.md Sec. 10). The paper's Algorithm 2
+// fails an mmap when no page of the requested color exists, which is
+// the right contract for a coloring *experiment* but the wrong one
+// for a long-running system: a transient squeeze on one node would
+// kill tasks while free frames sit idle elsewhere. When degradation
+// is enabled (the default), a failed preferred-placement allocation
+// steps down rung by rung instead, and every frame handed out below
+// the top is recorded as a loan so the reclaim pass can send it home
+// once pressure subsides and the invariant auditor can account for
+// the temporary break in color exclusivity.
+
+// Rung identifies how far from its preferred placement a degraded
+// allocation landed.
+type Rung int
+
+const (
+	// RungBorrowColor is a same-node parked page borrowed from a
+	// color no task has claimed (for colored borrowers), or any
+	// same-node parked page (for uncolored tasks whose zones are dry).
+	RungBorrowColor Rung = iota
+	// RungLocalUncolored is a plain local-node buddy frame handed to
+	// a colored task: locality preserved, color guarantee dropped.
+	RungLocalUncolored
+	// RungRemote is anything beyond the local node — remote buddy
+	// frames, remote parked pages, and (as the very last resort) any
+	// parked page regardless of node or assignment.
+	RungRemote
+	// NumRungs sizes per-rung counters.
+	NumRungs
+)
+
+// RungNone marks a preferred-placement allocation (no loan).
+const RungNone Rung = -1
+
+// String returns a short rung label for reports.
+func (r Rung) String() string {
+	switch r {
+	case RungBorrowColor:
+		return "borrow-color"
+	case RungLocalUncolored:
+		return "local-uncolored"
+	case RungRemote:
+		return "remote"
+	case RungNone:
+		return "none"
+	default:
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+}
+
+// FaultHooks are the kernel-level fault-injection points
+// (internal/fault wires them; zone-level buddy OOM goes through
+// SetZoneFaultHook instead). Hooks must be deterministic functions of
+// their arguments and the hook's own state — no wall clock, no global
+// rand; tintvet's faultpure analyzer enforces this.
+type FaultHooks struct {
+	// Refill, when set, is consulted once per (fault, zone) before
+	// create_color_list refills color lists from that zone's buddy
+	// blocks; returning true fails the refill for the zone (its buddy
+	// blocks stay put, and the allocation proceeds to the next zone
+	// or down the ladder).
+	Refill func(node int) bool
+	// Migrate, when set, is consulted once per page Migrate would
+	// move; returning true fails the copy — the page stays on its old
+	// frame and is counted in MigrateStats.Failed.
+	Migrate func(taskID int, vpage uint64) bool
+}
+
+// SetFaultHooks installs (or, with zero value, removes) the kernel's
+// fault-injection hooks.
+func (k *Kernel) SetFaultHooks(h FaultHooks) { k.fault = h }
+
+// SetZoneFaultHook installs a fault hook on node n's buddy zone; it
+// vets every Alloc/AllocExact against injected OOM or a capacity
+// squeeze before the free lists are touched.
+func (k *Kernel) SetZoneFaultHook(n int, h buddy.FaultHook) { k.zones[n].SetFaultHook(h) }
+
+// loan records one frame handed out below the top of the ladder: who
+// borrowed it, the virtual page it backs, and the rung it came from.
+type loan struct {
+	task *Task
+	vp   uint64
+	rung Rung
+}
+
+// registerLoan records a ladder frame once its caller has mapped it.
+// Translate and Migrate call it right after the page-table insert;
+// the auditor checks the two stay coherent.
+func (k *Kernel) registerLoan(f phys.Frame, t *Task, vp uint64, rung Rung) {
+	if k.loans == nil {
+		k.loans = make(map[phys.Frame]loan)
+	}
+	k.loans[f] = loan{task: t, vp: vp, rung: rung}
+}
+
+func (k *Kernel) noteDegraded(r Rung) { k.stats.DegradedAllocs[r]++ }
+
+// degradedColoredAlloc walks the ladder for a colored task whose
+// preferred path (own colors, all refills) came up empty. By that
+// point every zone the task's colors map to has been drained into
+// color lists, so the rungs mix buddy frames and parked pages:
+//
+//  1. a same-node parked page of an unassigned color (borrow)
+//  2. any local-node buddy frame (locality without the color)
+//  3. remote nodes in zone-fallback order — buddy first, then
+//     parked — and finally any parked page anywhere
+func (k *Kernel) degradedColoredAlloc(t *Task) (phys.Frame, Rung, bool) {
+	local := t.nodeOrder[0]
+	if f, ok := k.popUnassigned(t, local); ok {
+		return f, RungBorrowColor, true
+	}
+	if f, err := k.zones[local].Alloc(0); err == nil {
+		return k.zoneLo[local] + f, RungLocalUncolored, true
+	}
+	for _, n := range t.nodeOrder[1:] {
+		if f, err := k.zones[n].Alloc(0); err == nil {
+			return k.zoneLo[n] + f, RungRemote, true
+		}
+		if f, ok := k.popParkedOnNode(n); ok {
+			return f, RungRemote, true
+		}
+	}
+	// Very last resort: any parked page, even of a color another task
+	// owns. Exclusivity is surrendered before the machine reports OOM
+	// with free frames still parked; the loan record keeps the break
+	// visible to the auditor.
+	if f, ok := k.popAnyParked(t); ok {
+		return f, RungRemote, true
+	}
+	return 0, RungNone, false
+}
+
+// assignedColors reports which bank and LLC colors any live task
+// currently owns. Recomputed per ladder step: the ladder is a cold
+// path entered only under memory pressure, and a cached set would
+// have to chase every Mmap color call.
+func (k *Kernel) assignedColors() (bank, llc []bool) {
+	bank = make([]bool, k.colors.nBank)
+	llc = make([]bool, k.colors.nLLC)
+	for _, p := range k.procs {
+		for _, t := range p.tasks {
+			for _, c := range t.bankColors {
+				bank[c] = true
+			}
+			for _, c := range t.llcColors {
+				llc[c] = true
+			}
+		}
+	}
+	return bank, llc
+}
+
+// popUnassigned pops a parked page on `node` borrowable without
+// touching any task's guarantee: for bank-constrained borrowers a
+// page of an unassigned bank color (preferring the borrower's own
+// LLC colors so that half of the guarantee survives), for LLC-only
+// borrowers a page of an unassigned LLC color served from the node's
+// banks.
+func (k *Kernel) popUnassigned(t *Task, node int) (phys.Frame, bool) {
+	bankAsn, llcAsn := k.assignedColors()
+	if t.usingBank {
+		banks := k.mapping.BankColorsOfNode(node)
+		if t.usingLLC {
+			for _, bc := range banks {
+				if bankAsn[bc] || k.colors.bankCount[bc] == 0 {
+					continue
+				}
+				for _, lc := range t.llcColors {
+					if f, ok := k.colors.popExact(bc, lc); ok {
+						return f, true
+					}
+				}
+			}
+		}
+		for _, bc := range banks {
+			if bankAsn[bc] {
+				continue
+			}
+			if f, ok := k.colors.popBankAny(bc, t.llcScan); ok {
+				return f, true
+			}
+		}
+		return 0, false
+	}
+	for lc := 0; lc < k.colors.nLLC; lc++ {
+		if llcAsn[lc] || k.colors.llcCount[lc] == 0 {
+			continue
+		}
+		for _, bc := range k.mapping.BankColorsOfNode(node) {
+			if f, ok := k.colors.popExact(bc, lc); ok {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// popParkedOnNode pops any parked page of node n, scanning its bank
+// colors in ascending order.
+func (k *Kernel) popParkedOnNode(n int) (phys.Frame, bool) {
+	for _, bc := range k.mapping.BankColorsOfNode(n) {
+		if k.colors.bankCount[bc] == 0 {
+			continue
+		}
+		if f, ok := k.colors.popBankAny(bc, 0); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// popAnyParked pops any parked page anywhere, visiting nodes in the
+// task's zone-fallback order so locality is preserved when possible.
+func (k *Kernel) popAnyParked(t *Task) (phys.Frame, bool) {
+	for _, n := range t.nodeOrder {
+		if f, ok := k.popParkedOnNode(n); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// reclaimParkedZone sweeps node n's parked pages out of the color
+// lists back into the buddy zone, coalescing them — Algorithm 2 in
+// reverse. Huge (order > 0) requests cannot be served from 4 KiB
+// color lists, so under pressure the kernel un-colors parked pages to
+// rebuild contiguity; they re-shatter on the next colored refill.
+// Returns the number of frames reclaimed.
+func (k *Kernel) reclaimParkedZone(n int) uint64 {
+	var reclaimed uint64
+	for _, bc := range k.mapping.BankColorsOfNode(n) {
+		for lc := 0; lc < k.colors.nLLC; lc++ {
+			for {
+				f, ok := k.colors.popExact(bc, lc)
+				if !ok {
+					break
+				}
+				k.coloredFrame[f] = false
+				home := k.mapping.NodeOfFrame(f)
+				if err := k.zones[home].Free(f-k.zoneLo[home], 0); err != nil {
+					panic(fmt.Sprintf("kernel: reclaimParkedZone(%d): %v", n, err))
+				}
+				reclaimed++
+			}
+		}
+	}
+	k.stats.ParkedReclaimed += reclaimed
+	return reclaimed
+}
+
+// allocPreferred is preferred-placement allocation only — Algorithm 1
+// without the ladder. The reclaim pass uses it so a loan moves home
+// only when its real placement is available again.
+func (k *Kernel) allocPreferred(t *Task) (phys.Frame, clock.Dur, bool) {
+	k.stats.Faults++
+	if !t.usingBank && !t.usingLLC {
+		return k.allocDefault(t)
+	}
+	t.faultCount++
+	return k.allocColored(t)
+}
+
+// ReclaimLoans migrates this task's loaned pages back onto
+// preferred-placement frames, returning each borrowed frame to its
+// home free list. heap.Trim calls it after releasing slabs — the
+// moment pressure subsides — but it is safe to call at any time. Only
+// loans whose preferred placement is available again move; the rest
+// stay loaned. Returns the number of pages moved.
+func (t *Task) ReclaimLoans() int {
+	k := t.proc.k
+	if len(k.loans) == 0 {
+		return 0
+	}
+	// Collect this task's loans and process them in ascending frame
+	// order; iterating the map directly would make the replacement
+	// placements depend on Go's randomized map order.
+	frames := make([]phys.Frame, 0, len(k.loans))
+	for f, l := range k.loans {
+		if l.task == t {
+			frames = append(frames, f)
+		}
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	moved := 0
+	for _, old := range frames {
+		l := k.loans[old]
+		fresh, _, ok := k.allocPreferred(t)
+		if !ok {
+			break // still under pressure; keep the remaining loans
+		}
+		t.proc.pt[l.vp] = fresh
+		t.proc.shootdownPage(l.vp)
+		k.freeFrame(old) // drops the loan record; old reparks or rejoins buddy
+		moved++
+		k.stats.LoansReclaimed++
+	}
+	return moved
+}

@@ -63,6 +63,32 @@ func (p *Process) VisitPages(fn func(vpage uint64, f phys.Frame)) {
 	}
 }
 
+// Loans returns the number of outstanding degradation-ladder loans
+// (frames handed out below preferred placement and not yet reclaimed
+// or freed).
+func (k *Kernel) Loans() int { return len(k.loans) }
+
+// VisitLoans calls fn for every outstanding loan in ascending frame
+// order: the borrowing task, the virtual page the frame backs, and
+// the ladder rung it came from.
+func (k *Kernel) VisitLoans(fn func(f phys.Frame, t *Task, vpage uint64, rung Rung)) {
+	frames := make([]phys.Frame, 0, len(k.loans))
+	for f := range k.loans {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	for _, f := range frames {
+		l := k.loans[f]
+		fn(f, l.task, l.vp, l.rung)
+	}
+}
+
+// OwnsBankColor reports whether the task's TCB holds bank color c.
+func (t *Task) OwnsBankColor(c int) bool { return c >= 0 && c < len(t.bankSet) && t.bankSet[c] }
+
+// OwnsLLCColor reports whether the task's TCB holds LLC color c.
+func (t *Task) OwnsLLCColor(c int) bool { return c >= 0 && c < len(t.llcSet) && t.llcSet[c] }
+
 // PCPFrames returns a copy of the task's per-CPU page cache (frames
 // pulled from a zone but not yet handed to a fault).
 func (t *Task) PCPFrames() []phys.Frame { return append([]phys.Frame(nil), t.pcp...) }

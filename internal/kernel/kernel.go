@@ -100,6 +100,14 @@ type Config struct {
 	// imbalance. Colored allocations are unaffected: TintMalloc's
 	// node-constrained path is the point of the paper.
 	BuddyRemoteFrac float64
+	// DisableDegrade restores the paper-faithful fail-hard allocation
+	// semantics: a colored fault that cannot be refilled returns
+	// ErrNoColoredMemory and an uncolored fault with dry zones
+	// returns ErrNoMemory, even when free frames exist elsewhere.
+	// With the default (false), the kernel walks the degradation
+	// ladder of DESIGN.md Sec. 10 instead and only reports OOM once
+	// no free frame exists anywhere on the machine.
+	DisableDegrade bool
 }
 
 // RemoteChunkPages is the fault-chunk granularity of BuddyRemoteFrac:
@@ -135,6 +143,14 @@ type Stats struct {
 	TLBHits       uint64 // Translate calls served by the TLB
 	TLBMisses     uint64 // Translate calls that walked the page table
 	TLBShootdowns uint64 // invalidation events (munmap/migrate pages, recolor flushes)
+
+	// Degradation-ladder counters (DESIGN.md Sec. 10). All zero while
+	// the preferred paths never fail; ladder frames are counted here
+	// and nowhere else (not in ColoredPages/BuddyPages), so the
+	// preferred-path counters keep their paper meaning.
+	DegradedAllocs  [NumRungs]uint64 // frames handed out per ladder rung
+	LoansReclaimed  uint64           // loaned pages migrated back to preferred placement
+	ParkedReclaimed uint64           // parked pages un-colored to serve order>0 requests
 }
 
 // Kernel owns physical memory and all simulated processes.
@@ -161,6 +177,12 @@ type Kernel struct {
 	procs      []*Process
 	nextTaskID int
 	stats      Stats
+	// loans tracks frames handed out below the top of the degradation
+	// ladder (degrade.go); nil until the first degraded allocation.
+	loans map[phys.Frame]loan
+	// fault holds the kernel-level fault-injection hooks (zone-level
+	// hooks live on the buddy allocators themselves).
+	fault FaultHooks
 }
 
 // New boots a kernel over the given machine. The entire physical
@@ -346,61 +368,110 @@ func (k *Kernel) NewProcess() *Process {
 }
 
 // allocPagesFor implements Algorithm 1 for an order-0 request on
-// behalf of task t. It returns the frame and the simulated cost.
-func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
+// behalf of task t, extended with the degradation ladder of DESIGN.md
+// Sec. 10: when the preferred placement fails and degradation is
+// enabled, the kernel steps down rung by rung and only reports OOM
+// once no free frame exists anywhere. The returned rung is RungNone
+// for a preferred-placement frame; callers that map a ladder frame
+// must register it as a loan (registerLoan) so the reclaim pass and
+// the invariant auditor can track it.
+func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, Rung, error) {
 	k.stats.Faults++
 	if !t.usingBank && !t.usingLLC {
-		// pcp fast path: serve from the per-task page cache.
-		if k.cfg.EnablePCP {
-			if n := len(t.pcp); n > 0 {
-				f := t.pcp[n-1]
-				t.pcp = t.pcp[:n-1]
-				t.faultCount++
-				k.stats.BuddyPages++
-				k.stats.PCPHits++
-				return f, k.cfg.FaultCost, nil
-			}
+		if f, cost, ok := k.allocDefault(t); ok {
+			return f, cost, RungNone, nil
 		}
-		// Default policy: local zone first, then by hop distance —
-		// except for the fault chunks that BuddyRemoteFrac diverts
-		// to a remote zone (transient local pressure).
-		order := t.nodeOrder
-		if k.cfg.BuddyRemoteFrac > 0 && len(order) > 1 {
-			chunk := t.faultCount / RemoteChunkPages
-			h := splitmix(uint64(t.id)*0x9E3779B97F4A7C15 ^ uint64(chunk)<<20 ^ uint64(k.cfg.ChurnSeed))
-			if float64(h%1000) < k.cfg.BuddyRemoteFrac*1000 {
-				remote := 1 + int(splitmix(h)%uint64(len(order)-1))
-				reordered := make([]int, 0, len(order))
-				reordered = append(reordered, order[remote])
-				for i, n := range order {
-					if i != remote {
-						reordered = append(reordered, n)
-					}
-				}
-				order = reordered
-			}
+		if k.cfg.DisableDegrade {
+			return 0, 0, RungNone, ErrNoMemory
 		}
-		t.faultCount++
-		for _, n := range order {
-			if f, err := k.zones[n].Alloc(0); err == nil {
-				if k.cfg.EnablePCP {
-					// Batch-refill the pcp cache from the same zone.
-					for len(t.pcp) < PCPBatch-1 {
-						extra, err := k.zones[n].Alloc(0)
-						if err != nil {
-							break
-						}
-						t.pcp = append(t.pcp, k.zoneLo[n]+extra)
-					}
-				}
-				k.stats.BuddyPages++
-				return k.zoneLo[n] + f, k.cfg.FaultCost, nil
+		// Default-path ladder: the zones are dry, but free pages may
+		// still be parked on color lists. Taking one spends a colored
+		// page on an uncolored task — a degraded allocation, a
+		// same-node borrow when the page is local.
+		if f, ok := k.popAnyParked(t); ok {
+			rung := RungRemote
+			if k.mapping.NodeOfFrame(f) == t.nodeOrder[0] {
+				rung = RungBorrowColor
 			}
+			k.noteDegraded(rung)
+			return f, k.cfg.FaultCost, rung, nil
 		}
-		return 0, 0, ErrNoMemory
+		return 0, 0, RungNone, ErrNoMemory
 	}
 	t.faultCount++
+	f, cost, ok := k.allocColored(t)
+	if ok {
+		return f, cost, RungNone, nil
+	}
+	if k.cfg.DisableDegrade {
+		return 0, cost, RungNone, ErrNoColoredMemory
+	}
+	if f, rung, ok := k.degradedColoredAlloc(t); ok {
+		k.noteDegraded(rung)
+		return f, cost, rung, nil
+	}
+	// The ladder swept buddy zones and color lists alike, so this is
+	// genuine machine-wide exhaustion, not a coloring failure.
+	return 0, cost, RungNone, ErrNoMemory
+}
 
+// allocDefault is the default (uncolored) path: pcp cache, then the
+// buddy zones local-first with BuddyRemoteFrac chunk diversion.
+func (k *Kernel) allocDefault(t *Task) (phys.Frame, clock.Dur, bool) {
+	// pcp fast path: serve from the per-task page cache.
+	if k.cfg.EnablePCP {
+		if n := len(t.pcp); n > 0 {
+			f := t.pcp[n-1]
+			t.pcp = t.pcp[:n-1]
+			t.faultCount++
+			k.stats.BuddyPages++
+			k.stats.PCPHits++
+			return f, k.cfg.FaultCost, true
+		}
+	}
+	// Default policy: local zone first, then by hop distance —
+	// except for the fault chunks that BuddyRemoteFrac diverts
+	// to a remote zone (transient local pressure).
+	order := t.nodeOrder
+	if k.cfg.BuddyRemoteFrac > 0 && len(order) > 1 {
+		chunk := t.faultCount / RemoteChunkPages
+		h := splitmix(uint64(t.id)*0x9E3779B97F4A7C15 ^ uint64(chunk)<<20 ^ uint64(k.cfg.ChurnSeed))
+		if float64(h%1000) < k.cfg.BuddyRemoteFrac*1000 {
+			remote := 1 + int(splitmix(h)%uint64(len(order)-1))
+			reordered := make([]int, 0, len(order))
+			reordered = append(reordered, order[remote])
+			for i, n := range order {
+				if i != remote {
+					reordered = append(reordered, n)
+				}
+			}
+			order = reordered
+		}
+	}
+	t.faultCount++
+	for _, n := range order {
+		if f, err := k.zones[n].Alloc(0); err == nil {
+			if k.cfg.EnablePCP {
+				// Batch-refill the pcp cache from the same zone.
+				for len(t.pcp) < PCPBatch-1 {
+					extra, err := k.zones[n].Alloc(0)
+					if err != nil {
+						break
+					}
+					t.pcp = append(t.pcp, k.zoneLo[n]+extra)
+				}
+			}
+			k.stats.BuddyPages++
+			return k.zoneLo[n] + f, k.cfg.FaultCost, true
+		}
+	}
+	return 0, 0, false
+}
+
+// allocColored is the preferred colored path of Algorithm 1; the
+// accumulated cost is returned even on failure so the caller can
+// charge the wasted refill walk.
+func (k *Kernel) allocColored(t *Task) (phys.Frame, clock.Dur, bool) {
 	cost := k.cfg.FaultCost
 	// Fast path: a page is already parked on a matching color list.
 	// LLC-only tasks take parked pages from their local node only at
@@ -408,7 +479,7 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
 	// trying a local refill would needlessly surrender locality.
 	if f, ok := k.popColored(t, true); ok {
 		k.stats.ColoredPages++
-		return f, cost, nil
+		return f, cost, true
 	}
 
 	// Slow path (Algorithm 1 lines 17-25): walk the buddy free
@@ -418,10 +489,14 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
 	// list — exactly what Algorithm 2 does for the pages of a
 	// matched block — so refill work is amortized O(1) per page
 	// over a run. Zones are searched local-first; zones that
-	// cannot contain a matching bank color are skipped.
+	// cannot contain a matching bank color are skipped, as are zones
+	// an injected fault fails the refill for.
 	refilled := false
 	for _, n := range t.nodeOrder {
 		if t.usingBank && !t.wantsNode(k.mapping, n) {
+			continue
+		}
+		if k.fault.Refill != nil && k.fault.Refill(n) {
 			continue
 		}
 		base := k.zoneLo[n]
@@ -439,7 +514,7 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
 				cost += k.cfg.RefillPerFrameCost * clock.Dur(uint64(1)<<order)
 				if f, ok := k.popColored(t, n == t.nodeOrder[0]); ok {
 					k.stats.ColoredPages++
-					return f, cost, nil
+					return f, cost, true
 				}
 			}
 		}
@@ -447,9 +522,9 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
 	// Last resort: a matching page parked on any node.
 	if f, ok := k.popColored(t, false); ok {
 		k.stats.ColoredPages++
-		return f, cost, nil
+		return f, cost, true
 	}
-	return 0, cost, ErrNoColoredMemory
+	return 0, cost, false
 }
 
 // AllocPages is the general allocation entry point of Algorithm 1
@@ -461,7 +536,11 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, error) {
 // block of 2^order frames on the task's preferred node.
 func (k *Kernel) AllocPages(t *Task, order int) (phys.Frame, clock.Dur, error) {
 	if order == 0 {
-		return k.allocPagesFor(t)
+		// Caller-managed frames are not page-table mapped, so a
+		// ladder frame handed out here carries no loan record; it
+		// still counts in Stats.DegradedAllocs.
+		f, cost, _, err := k.allocPagesFor(t)
+		return f, cost, err
 	}
 	if order < 0 || order > buddy.MaxOrder {
 		return 0, 0, fmt.Errorf("kernel: order %d out of range [0,%d]", order, buddy.MaxOrder)
@@ -471,6 +550,20 @@ func (k *Kernel) AllocPages(t *Task, order int) (phys.Frame, clock.Dur, error) {
 		if f, err := k.zones[n].Alloc(order); err == nil {
 			k.stats.BuddyPages += 1 << order
 			return k.zoneLo[n] + f, k.cfg.FaultCost, nil
+		}
+	}
+	if !k.cfg.DisableDegrade {
+		// Degraded path for huge requests: un-color parked pages so
+		// they coalesce back into buddy blocks, then retry. Color
+		// lists re-shatter on the next colored refill.
+		for _, n := range t.nodeOrder {
+			if k.reclaimParkedZone(n) == 0 {
+				continue
+			}
+			if f, err := k.zones[n].Alloc(order); err == nil {
+				k.stats.BuddyPages += 1 << order
+				return k.zoneLo[n] + f, k.cfg.FaultCost, nil
+			}
 		}
 	}
 	return 0, 0, ErrNoMemory
@@ -544,8 +637,11 @@ func (k *Kernel) popColored(t *Task, localOnly bool) (phys.Frame, bool) {
 }
 
 // freeFrame returns a frame to the kernel: colored frames go back to
-// their color list, uncolored frames to the buddy allocator.
+// their color list, uncolored frames to the buddy allocator. A freed
+// frame's loan (if any) is settled — the borrow ends when the page
+// does.
 func (k *Kernel) freeFrame(f phys.Frame) {
+	delete(k.loans, f)
 	if k.coloredFrame[f] {
 		k.colors.push(f, int(k.frameBank[f]), int(k.frameLLC[f]))
 		return

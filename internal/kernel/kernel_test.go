@@ -318,10 +318,21 @@ func TestMunmapUncoloredReturnsToBuddy(t *testing.T) {
 
 func TestColorExhaustion(t *testing.T) {
 	// One (bank, LLC) combo owns 1/(128*32) of memory: 4 frames of
-	// 16384. Demand more and the colored path must fail with
-	// ErrNoColoredMemory.
-	k := boot(t)
-	m := k.Mapping()
+	// 16384. Demand more and, with the degradation ladder disabled
+	// (the paper-faithful mode), the colored path must fail with
+	// ErrNoColoredMemory. The default degrading behaviour is covered
+	// by the ladder tests in degrade_test.go.
+	top := topology.Opteron6128()
+	m, err := phys.DefaultSeparable(testMem, top.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DisableDegrade = true
+	k, err := New(top, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	task := newTask(t, k, 0)
 	bc := m.BankColorsOfNode(0)[0]
 	setColors(t, task, []int{bc}, []int{0})

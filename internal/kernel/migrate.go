@@ -25,6 +25,7 @@ type MigrateStats struct {
 	Scanned   int // resident pages inspected
 	Moved     int // pages re-allocated onto the task's colors
 	AlreadyOK int // pages already matching the task's colors
+	Failed    int // page copies failed by an injected migration fault
 	Cost      clock.Dur
 }
 
@@ -51,11 +52,20 @@ func (t *Task) Migrate(va, length uint64) (MigrateStats, error) {
 			st.AlreadyOK++
 			continue
 		}
-		fresh, cost, err := k.allocPagesFor(t)
+		// An injected migration fault degrades gracefully: the page
+		// simply stays on its old frame.
+		if k.fault.Migrate != nil && k.fault.Migrate(t.id, vp) {
+			st.Failed++
+			continue
+		}
+		fresh, cost, rung, err := k.allocPagesFor(t)
 		if err != nil {
 			return st, fmt.Errorf("kernel: Migrate at %#x: %w", page, err)
 		}
 		t.proc.pt[vp] = fresh
+		if rung != RungNone {
+			k.registerLoan(fresh, t, vp, rung)
+		}
 		t.proc.shootdownPage(vp)
 		k.freeFrame(old)
 		st.Moved++

@@ -294,11 +294,14 @@ func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 		}
 		return f.Base() + phys.Addr(phys.Offset(phys.Addr(va))), 0, nil
 	}
-	f, cost, err := p.k.allocPagesFor(t)
+	f, cost, rung, err := p.k.allocPagesFor(t)
 	if err != nil {
 		return 0, cost, err
 	}
 	p.pt[vp] = f
+	if rung != RungNone {
+		p.k.registerLoan(f, t, vp, rung)
+	}
 	if t.tlb != nil {
 		t.tlbInsert(vp, f)
 	}

@@ -48,10 +48,15 @@ func Summarize(xs []float64) Summary {
 }
 
 // Normalize returns s scaled by 1/base (for "normalized to buddy"
-// plots). A zero base returns a zero Summary.
+// plots). A zero base yields a NaN-filled Summary: a silent zero
+// would masquerade as real data when the baseline is missing, while
+// NaN poisons every downstream figure and fails loudly on JSON
+// marshalling. Use NormalizeChecked to surface the condition as an
+// error instead.
 func (s Summary) Normalize(base float64) Summary {
 	if base == 0 {
-		return Summary{N: s.N}
+		nan := math.NaN()
+		return Summary{N: s.N, Mean: nan, Min: nan, Max: nan, StdDev: nan}
 	}
 	return Summary{
 		N:      s.N,
@@ -60,6 +65,15 @@ func (s Summary) Normalize(base float64) Summary {
 		Max:    s.Max / base,
 		StdDev: s.StdDev / base,
 	}
+}
+
+// NormalizeChecked is Normalize with an explicit error for the
+// missing-baseline case.
+func (s Summary) NormalizeChecked(base float64) (Summary, error) {
+	if base == 0 {
+		return Summary{}, fmt.Errorf("stats: normalize against zero base (missing baseline)")
+	}
+	return s.Normalize(base), nil
 }
 
 // Spread returns Max - Min (the paper's error bars).
@@ -79,10 +93,24 @@ func FromDurations[T ~uint64](ds []T) []float64 {
 	return out
 }
 
-// Ratio returns a/b, or 0 when b is 0.
+// Ratio returns a/b, or 0 when b is 0. Use it for fractions whose
+// zero denominator genuinely means "nothing happened" (e.g. remote
+// accesses out of zero DRAM reads); for baseline normalizations use
+// NormRatio, where a zero denominator is a missing baseline that must
+// not print as a plausible 0.
 func Ratio(a, b float64) float64 {
 	if b == 0 {
 		return 0
+	}
+	return a / b
+}
+
+// NormRatio returns a/b, or NaN when b is 0: the value to print when
+// b is a baseline measurement whose absence should be visible in the
+// output rather than silently read as zero.
+func NormRatio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
 	}
 	return a / b
 }

@@ -38,8 +38,25 @@ func TestNormalize(t *testing.T) {
 	if !almost(n.Mean, 1) || !almost(n.Min, 0.5) || !almost(n.Max, 1.5) {
 		t.Errorf("Normalize = %+v", n)
 	}
-	if z := s.Normalize(0); z.Mean != 0 {
-		t.Errorf("Normalize(0) = %+v", z)
+	// A zero base means the baseline is missing: the result must be
+	// visibly poisoned, not a plausible-looking zero.
+	z := s.Normalize(0)
+	if !math.IsNaN(z.Mean) || !math.IsNaN(z.Min) || !math.IsNaN(z.Max) || !math.IsNaN(z.StdDev) {
+		t.Errorf("Normalize(0) = %+v, want NaN-filled", z)
+	}
+	if z.N != s.N {
+		t.Errorf("Normalize(0).N = %d, want %d", z.N, s.N)
+	}
+}
+
+func TestNormalizeChecked(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30})
+	if _, err := s.NormalizeChecked(0); err == nil {
+		t.Error("NormalizeChecked(0) returned nil error")
+	}
+	n, err := s.NormalizeChecked(20)
+	if err != nil || !almost(n.Mean, 1) {
+		t.Errorf("NormalizeChecked(20) = %+v, %v", n, err)
 	}
 }
 
@@ -54,6 +71,9 @@ func TestFromDurations(t *testing.T) {
 func TestRatioAndPercent(t *testing.T) {
 	if Ratio(10, 4) != 2.5 || Ratio(1, 0) != 0 {
 		t.Error("Ratio wrong")
+	}
+	if NormRatio(10, 4) != 2.5 || !math.IsNaN(NormRatio(1, 0)) {
+		t.Error("NormRatio wrong")
 	}
 	if !almost(PercentChange(200, 140), -30) {
 		t.Errorf("PercentChange = %v", PercentChange(200, 140))
