@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench microbench profile golden figures report sweep chaos-smoke fuzz lint clean
+.PHONY: all build test test-short race bench serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint clean
 
 all: build lint test
 
@@ -22,6 +22,18 @@ race:
 # and 8 and write cells/sec + engine ops/sec to BENCH_engine.json.
 bench:
 	$(GO) run ./cmd/tintbench -exp bench -scale 0.1 -repeats 2 -out BENCH_engine.json
+
+# Concurrent front-end shakeout: the kernel-vs-serve differential
+# test and the all-cores hammer, both under the race detector (see
+# DESIGN.md Sec. 11).
+serve-smoke:
+	$(GO) test -race -run 'TestDifferentialKernelVsServe|TestHammer' ./internal/serve
+
+# Serve-scaling harness: 16 clients over 1/2/4 shards plus a client
+# sweep, written to BENCH_serve.json with the previous report folded
+# in as the baseline.
+serve-bench:
+	$(GO) run ./cmd/tintbench -exp serve -serve-ops 20000 -serve-out BENCH_serve.json
 
 microbench:
 	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/phys ./internal/cache ./internal/mem ./internal/kernel

@@ -27,12 +27,13 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/bench"
 	"github.com/tintmalloc/tintmalloc/internal/fault"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/serve"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|chaos|bench|all")
+		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|chaos|bench|serve|all")
 		scale      = flag.Float64("scale", 1.0, "working-set scale factor (1.0 = paper-size)")
 		repeats    = flag.Int("repeats", 3, "repetitions per cell (paper used 10)")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -50,6 +51,8 @@ func main() {
 		chaosPol   = flag.String("policy", "MEM+LLC", "coloring policy for -exp chaos")
 		benchOut   = flag.String("out", "BENCH_engine.json", "output file for -exp bench")
 		benchPar   = flag.String("bench-parallel", "1,8", "comma-separated -parallel values the bench harness compares")
+		serveOut   = flag.String("serve-out", "BENCH_serve.json", "output file for -exp serve")
+		serveOps   = flag.Int("serve-ops", 20000, "churn operations per client for -exp serve")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -93,6 +96,16 @@ func main() {
 
 	if *exp == "bench" {
 		if err := runBenchHarness(os.Stdout, *benchOut, *benchPar, memBytes, params, *repeats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// The serve experiment measures real goroutine concurrency, so it
+	// is wall-clock dependent and — like -exp bench — excluded from
+	// -exp all, whose outputs are byte-identical at any -parallel.
+	if *exp == "serve" {
+		if err := runServeHarness(os.Stdout, *serveOut, memBytes, *serveOps, serve.Config{}); err != nil {
 			fatal(err)
 		}
 		return

@@ -46,7 +46,7 @@ func main() {
 	case *summary != "":
 		events := load(*summary)
 		s := trace.Summarize(events)
-		trace.WriteSummary(os.Stdout, s, len(s.Threads))
+		trace.WriteSummary(os.Stdout, s)
 		fmt.Println()
 		trace.WritePhaseSummary(os.Stdout, trace.SummarizeByPhase(events))
 	case *replay != "":
@@ -122,12 +122,12 @@ func doRecord(wlName, polName, cfgName string, scale float64, seed int64, out st
 	_, e, cfg := buildRig(polName, cfgName)
 
 	var w *trace.Writer
+	var f *os.File
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(out); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if w, err = trace.NewWriter(f); err != nil {
 			fatal(err)
 		}
@@ -152,11 +152,18 @@ func doRecord(wlName, polName, cfgName string, scale float64, seed int64, out st
 		if err := w.Flush(); err != nil {
 			fatal(err)
 		}
+		// Close explicitly and check the error: Flush drains the CSV
+		// writer into the OS file's buffers, but a deferred f.Close()
+		// whose error is dropped can still lose those bytes silently
+		// (full disk, NFS write-back) while reporting success.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%d events -> %s\n", w.Events(), out)
 		return
 	}
 	s := trace.Summarize(collected)
-	trace.WriteSummary(os.Stdout, s, cfg.Threads())
+	trace.WriteSummary(os.Stdout, s)
 }
 
 func doReplay(path, polName, cfgName string) {

@@ -25,7 +25,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc: "flag ranging over maps where the body appends to outer slices " +
 		"(without a later sort), writes output, accumulates floats, or " +
-		"calls allocator APIs — map order is randomized per run",
+		"calls allocator APIs — map order is randomized per run; in " +
+		"output-path functions (io.Writer parameter) per-entry helper " +
+		"calls under a map range are flagged too",
 	Run: run,
 }
 
@@ -57,7 +59,112 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if writers := writerParams(pass, ftype); len(writers) > 0 {
+				checkOutputFunc(pass, body, writers)
+			}
+			return true
+		})
+	}
 	return nil
+}
+
+// writerParams returns the objects of a function's io.Writer-typed
+// parameters. A function that takes a writer is an output path: its
+// map ranges emit user-visible rows, where randomized order is the
+// Summary.Threads class of bug.
+func writerParams(pass *analysis.Pass, ftype *ast.FuncType) map[types.Object]bool {
+	var out map[types.Object]bool
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || types.TypeString(tv.Type, nil) != "io.Writer" {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if out == nil {
+				out = make(map[types.Object]bool)
+			}
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// checkOutputFunc walks one output-path function body and flags map
+// ranges that emit per-entry output through helper calls the direct
+// fmt check cannot see: a call to a locally-declared row closure, or
+// any call that passes the writer along. Both mean one output row per
+// map entry, in randomized order.
+func checkOutputFunc(pass *analysis.Pass, body *ast.BlockStmt, writers map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rng) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A call forwarding the writer emits output per entry.
+			// fmt.Fprint* is skipped: the direct fmt check above
+			// already reports it.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					return true
+				}
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && writers[pass.TypesInfo.Uses[id]] {
+					pass.Reportf(call.Pos(),
+						"passing the output writer %q per entry of a map range emits rows in randomized map order; iterate sorted keys instead",
+						id.Name)
+					return true
+				}
+			}
+			// A call to a closure declared in this function (the
+			// `row := func(...)` table-helper idiom) closes over the
+			// writer without naming it in the argument list.
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.Pos() < body.Pos() || v.Pos() > body.End() {
+				return true
+			}
+			if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"calling row helper %q per entry of a map range in an output-path function emits rows in randomized map order; iterate sorted keys instead",
+				id.Name)
+			return true
+		})
+		return false // nested ranges are revisited by the outer Inspect
+	})
 }
 
 // stmtList returns the statement list a node directly holds, so a

@@ -2,6 +2,7 @@ package fixture
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -60,4 +61,48 @@ func exempt(m map[int]int) []int {
 		out = append(out, k) //tintvet:ignore maporder: order handled by caller
 	}
 	return out
+}
+
+type row struct{ accesses int }
+
+func emit(w io.Writer, name string, r *row) { fmt.Fprintln(w, name, r.accesses) }
+
+// flagged: output-path functions (io.Writer parameter) emitting one
+// row per map entry through helpers — the Summary.Threads bug class.
+// The direct-fmt case is caught by the base rule even here.
+func badTable(w io.Writer, threads map[int]*row) {
+	rowFn := func(name string, r *row) { fmt.Fprintln(w, name, r.accesses) }
+	for id, r := range threads {
+		rowFn(fmt.Sprint(id), r) // want "calling row helper \"rowFn\" per entry of a map range"
+	}
+	for id, r := range threads {
+		emit(w, fmt.Sprint(id), r) // want "passing the output writer \"w\" per entry of a map range"
+	}
+	for id := range threads {
+		fmt.Fprintln(w, id) // want "fmt.Fprintln inside map iteration"
+	}
+}
+
+// allowed: the collect-then-sort idiom in an output path — rows are
+// emitted from the sorted key slice, not the map range.
+func goodTable(w io.Writer, threads map[int]*row) {
+	ids := make([]int, 0, len(threads))
+	for id := range threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(w, fmt.Sprint(id), threads[id])
+	}
+}
+
+// allowed: helper closures under map ranges are fine outside output
+// paths (no io.Writer in the signature) when otherwise order-safe.
+func aggregate(threads map[int]*row) int {
+	total := 0
+	add := func(r *row) { total += r.accesses }
+	for _, r := range threads {
+		add(r)
+	}
+	return total
 }

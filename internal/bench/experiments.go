@@ -44,6 +44,9 @@ func RunFig10(mach *Machine, cfg Config, params workload.Params, repeats, worker
 func (r *Fig10Result) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 10 — synthetic benchmark execution time (%s)\n", r.Config.Name)
 	fmt.Fprintf(w, "%-14s %15s %15s %15s %10s\n", "policy", "mean cycles", "min", "max", "vs buddy")
+	// base is the buddy runtime; if it were ever missing (zero),
+	// PercentChange poisons the column with NaN rather than printing a
+	// plausible 0% — see the stats package's baseline convention.
 	base := r.Cells[0].Runtime.Mean
 	for i, p := range r.Policies {
 		c := r.Cells[i]

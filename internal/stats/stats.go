@@ -117,9 +117,13 @@ func NormRatio(a, b float64) float64 {
 
 // PercentChange returns the relative change from base to x in
 // percent: negative means x is smaller (an improvement for runtimes).
+// A zero base yields NaN, matching the NaN-poison convention of
+// Normalize and NormRatio: base is always a baseline measurement
+// here, and "0% change" against a missing baseline would read as
+// "no difference" when the truth is "nothing to compare against".
 func PercentChange(base, x float64) float64 {
 	if base == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (x - base) / base * 100
 }

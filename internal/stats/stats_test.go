@@ -78,8 +78,20 @@ func TestRatioAndPercent(t *testing.T) {
 	if !almost(PercentChange(200, 140), -30) {
 		t.Errorf("PercentChange = %v", PercentChange(200, 140))
 	}
-	if PercentChange(0, 5) != 0 {
-		t.Error("PercentChange with zero base")
+	if !almost(PercentChange(200, 260), 30) {
+		t.Errorf("PercentChange = %v", PercentChange(200, 260))
+	}
+	// A zero base is a missing baseline: the result must poison the
+	// figure (NaN), not print as a plausible "0% change" — the same
+	// convention Normalize and NormRatio follow.
+	if !math.IsNaN(PercentChange(0, 5)) {
+		t.Errorf("PercentChange(0, 5) = %v, want NaN", PercentChange(0, 5))
+	}
+	if !math.IsNaN(PercentChange(0, 0)) {
+		t.Errorf("PercentChange(0, 0) = %v, want NaN", PercentChange(0, 0))
+	}
+	if PercentChange(5, 5) != 0 {
+		t.Errorf("PercentChange(5, 5) = %v, want 0", PercentChange(5, 5))
 	}
 }
 

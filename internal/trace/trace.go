@@ -19,6 +19,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"github.com/tintmalloc/tintmalloc/internal/clock"
@@ -66,10 +67,15 @@ func (w *Writer) Write(e Event) {
 		strconv.Itoa(int(e.Level)),
 		strconv.FormatUint(uint64(e.FaultCycles), 10),
 	})
-	w.n++
+	// Only successful writes count: Events() backs the "N events ->
+	// file" report, and counting a row the CSV layer just rejected
+	// would overstate the trace by the failed row.
+	if w.err == nil {
+		w.n++
+	}
 }
 
-// Events returns the number of events written.
+// Events returns the number of events successfully written.
 func (w *Writer) Events() uint64 { return w.n }
 
 // Flush flushes buffered rows and reports any deferred error.
@@ -104,7 +110,10 @@ func Read(r io.Reader) ([]Event, error) {
 			return out, nil
 		}
 		if err != nil {
-			return nil, err
+			// Mid-file read failures (truncated rows, bare quotes, a
+			// disk error) get the same line context as parse failures,
+			// so a corrupt multi-MB trace points at the bad row.
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		e, err := parseRecord(rec)
 		if err != nil {
@@ -255,8 +264,12 @@ func WritePhaseSummary(w io.Writer, s *PhaseSummary) {
 	}
 }
 
-// WriteSummary prints a per-thread table.
-func WriteSummary(w io.Writer, s *Summary, threads int) {
+// WriteSummary prints a per-thread table. Rows cover every thread ID
+// present in the trace, in ascending order: thread IDs are sparse
+// whenever a configuration pins fewer threads than cores (e.g. cores
+// {0, 4, 8, 12}), so guessing a dense 0..N-1 range would silently
+// drop rows that still count toward the total line.
+func WriteSummary(w io.Writer, s *Summary) {
 	fmt.Fprintf(w, "%-7s %10s %8s %8s %8s %8s %10s %10s %10s\n",
 		"thread", "accesses", "L1", "L2", "L3", "DRAM", "remote", "avg cyc", "fault cyc")
 	row := func(name string, ts *ThreadSummary) {
@@ -266,10 +279,13 @@ func WriteSummary(w io.Writer, s *Summary, threads int) {
 			ts.ByLevel[mem.LevelL1], ts.ByLevel[mem.LevelL2], ts.ByLevel[mem.LevelL3],
 			dram, ts.RemoteFrac()*100, ts.MeanLatency(), ts.FaultCycles)
 	}
-	for i := 0; i < threads; i++ {
-		if ts, ok := s.Threads[i]; ok {
-			row(fmt.Sprintf("t%d", i), ts)
-		}
+	ids := make([]int, 0, len(s.Threads))
+	for id := range s.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		row(fmt.Sprintf("t%d", id), s.Threads[id])
 	}
 	row("total", &s.Total)
 }

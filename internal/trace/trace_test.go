@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -161,9 +162,116 @@ func TestSummarize(t *testing.T) {
 		t.Error("MeanLatency not positive")
 	}
 	var sb strings.Builder
-	WriteSummary(&sb, s, 2)
+	WriteSummary(&sb, s)
 	if !strings.Contains(sb.String(), "total") || !strings.Contains(sb.String(), "t1") {
 		t.Errorf("summary table incomplete:\n%s", sb.String())
+	}
+}
+
+// TestWriteSummarySparseThreadIDs is the regression test for the
+// dropped-row bug: configurations that pin fewer threads than cores
+// produce sparse thread IDs, and the summary table used to iterate
+// 0..len(Threads)-1, silently skipping every row whose ID fell
+// outside that range while still counting it in the total line.
+func TestWriteSummarySparseThreadIDs(t *testing.T) {
+	mk := func(thread int, n uint64) []Event {
+		out := make([]Event, n)
+		for i := range out {
+			out[i] = Event{Thread: thread, Phase: "p", VA: 0x1000, PA: 0x2000,
+				Start: 10, Done: 20}
+		}
+		return out
+	}
+	// Threads 2 and 7 of an 8-core config: both outside [0, 2).
+	events := append(mk(2, 3), mk(7, 5)...)
+	s := Summarize(events)
+	if len(s.Threads) != 2 {
+		t.Fatalf("summary covers %d threads, want 2", len(s.Threads))
+	}
+	var sb strings.Builder
+	WriteSummary(&sb, s)
+	got := sb.String()
+	for _, want := range []string{"t2", "t7", "total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary table missing %q row:\n%s", want, got)
+		}
+	}
+	// Every per-thread access must be visible in its row: t2 carries 3
+	// accesses, t7 carries 5, the total 8.
+	for _, want := range [][2]string{{"t2", "3"}, {"t7", "5"}, {"total", "8"}} {
+		for _, line := range strings.Split(got, "\n") {
+			f := strings.Fields(line)
+			if len(f) > 1 && f[0] == want[0] && f[1] != want[1] {
+				t.Errorf("%s row reports %s accesses, want %s:\n%s", want[0], f[1], want[1], got)
+			}
+		}
+	}
+	// Rows come out in ascending thread order.
+	if strings.Index(got, "t2") > strings.Index(got, "t7") {
+		t.Errorf("rows out of order:\n%s", got)
+	}
+}
+
+// failingWriter fails every write; used to prove the event counter
+// only advances on successful CSV writes.
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("injected write failure")
+}
+
+func TestWriterCountsOnlySuccessfulWrites(t *testing.T) {
+	// The csv.Writer buffers through bufio, so small rows fail only at
+	// Flush — but a field larger than the buffer forces a write-through
+	// that fails inside Write itself. Events() must not count that row.
+	w, err := NewWriter(failingWriter{})
+	if err != nil {
+		t.Fatal(err) // header is buffered; NewWriter itself succeeds
+	}
+	w.Write(Event{Thread: 0, Phase: strings.Repeat("x", 64<<10)})
+	if got := w.Events(); got != 0 {
+		t.Errorf("Events() = %d after a failed write, want 0", got)
+	}
+	// The error is sticky: later writes are dropped, not counted.
+	w.Write(Event{Thread: 1, Phase: "p"})
+	if got := w.Events(); got != 0 {
+		t.Errorf("Events() = %d after writes into a failed writer, want 0", got)
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("Flush did not report the injected write failure")
+	}
+}
+
+func TestReadErrorContext(t *testing.T) {
+	const hdr = "thread,phase,va,pa,write,start,done,level,fault\n"
+	good := "0,p,0x1000,0x2000,false,0,1,0,0\n"
+	cases := []struct {
+		name string
+		body string // appended after the header
+		want string // substring the error must carry
+	}{
+		{"truncated row", good + "0,p,0x1\n", "line 3"},
+		{"truncated first row", "0,p\n", "line 2"},
+		{"bare quote", good + "0,p,\"0x1\n", "line 3"},
+		{"bad hex pa", "0,p,0x1000,0xZZ,false,0,1,0,0\n", "pa:"},
+		{"bad hex va", good + "0,p,zz,0x2000,false,0,1,0,0\n", "va:"},
+		{"out-of-range level", "0,p,0x1000,0x2000,false,0,1,99,0\n", "level"},
+		{"negative level", "0,p,0x1000,0x2000,false,0,1,-1,0\n", "level"},
+		{"bad write flag", "0,p,0x1000,0x2000,maybe,0,1,0,0\n", "write:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(hdr + tc.body))
+			if err == nil {
+				t.Fatalf("Read accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), "trace: line ") {
+				t.Errorf("error lacks line context: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
 	}
 }
 
