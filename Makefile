@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint clean
+.PHONY: all build test test-short race bench serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
 
 all: build lint test
 
@@ -74,11 +74,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/bench
 
-# vet plus the repo's own determinism/correctness analyzers
-# (cmd/tintvet); see CONTRIBUTING.md for the rules they enforce.
+# vet plus the repo's own determinism/correctness/concurrency
+# analyzers (cmd/tintvet); see CONTRIBUTING.md for the rules they
+# enforce. Exit codes: 0 clean, 1 findings, 2 load error.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tintvet ./...
+
+# Analyzer self-tests: every analyzer's positive fixtures must be
+# detected and its negative fixtures must stay silent (the atest
+# `// want` harness under each analyzer's testdata).
+vet-fixtures:
+	$(GO) test ./internal/analysis/...
 
 clean:
 	$(GO) clean ./...

@@ -1,20 +1,31 @@
 // tintvet is the repository's custom lint suite: a set of static
-// analyzers enforcing the simulator's determinism and error-handling
-// contracts (see CONTRIBUTING.md "Determinism rules"). It is the
-// static half of the correctness gate; the runtime half is
-// internal/invariant, which audits kernel bookkeeping from tests.
+// analyzers enforcing the simulator's determinism, error-handling,
+// and concurrency contracts (see CONTRIBUTING.md "Determinism rules"
+// and "Lock discipline"). It is the static half of the correctness
+// gate; the runtime half is internal/invariant, which audits kernel
+// bookkeeping from tests.
 //
 // Usage:
 //
-//	go run ./cmd/tintvet [-list] [-v] [packages...]
+//	go run ./cmd/tintvet [-list] [-json] [-v] [packages...]
 //
 // Packages default to ./... relative to the current directory. The
-// exit status is 1 when any finding survives filtering. A finding is
-// suppressed by a `//tintvet:ignore <analyzer>: <reason>` comment on
-// the flagged line or the line directly above it.
+// exit status is the contract CI scripts rely on: 0 when the suite
+// ran and found nothing, 1 when findings survived filtering, 2 when
+// the packages could not be loaded or an analyzer failed to run.
+//
+// A finding is suppressed by a `//tintvet:ignore <analyzer>: <reason>`
+// comment on the flagged line or the line directly above it; a
+// directive missing the analyzer or the reason suppresses nothing and
+// is itself a finding.
+//
+// With -json, findings are emitted to stdout as a JSON array of
+// {file, line, col, analyzer, message} records (an empty array when
+// clean) for machine consumption; the human summary goes to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +35,9 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/analysis/detrand"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/errdrop"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/faultpure"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/goroleak"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/guardedby"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/lockorder"
 	"github.com/tintmalloc/tintmalloc/internal/analysis/maporder"
 )
 
@@ -34,10 +48,23 @@ var suite = []*analysis.Analyzer{
 	cycleclock.Analyzer,
 	errdrop.Analyzer,
 	faultpure.Analyzer,
+	lockorder.Analyzer,
+	guardedby.Analyzer,
+	goroleak.Analyzer,
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	verbose := flag.Bool("v", false, "report each analyzed package")
 	flag.Parse()
 
@@ -60,40 +87,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	findings := 0
-	for _, pkg := range prog.Packages {
-		for _, a := range suite {
-			if a.Applies != nil && !a.Applies(pkg.Path) {
-				continue
-			}
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      prog.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			if err := a.Run(pass); err != nil {
-				fatal(fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err))
-			}
-			diags := analysis.FilterIgnored(prog.Fset, pkg.Files, pass.Diagnostics())
-			for _, d := range diags {
-				fmt.Println(d)
-				findings++
-			}
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "tintvet: analyzed %s\n", pkg.Path)
+	if *verbose {
+		for _, pkg := range prog.Packages {
+			fmt.Fprintf(os.Stderr, "tintvet: analyzing %s\n", pkg.Path)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "tintvet: %d finding(s)\n", findings)
+
+	diags, err := analysis.RunSuite(prog, suite)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		records := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			records = append(records, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tintvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }
 
+// fatal reports a driver failure — load or analyzer error, not a
+// finding — and exits 2 so scripts can tell "broken build" from
+// "lint failed".
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tintvet:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -89,20 +89,42 @@ func sortDiagnostics(ds []Diagnostic) {
 }
 
 // IgnoreDirective is the comment that suppresses a finding on its own
-// line or the line below.
+// line or the line below. The full grammar is
+//
+//	//tintvet:ignore <analyzer>: <reason>
+//
+// A directive missing the analyzer name or the reason suppresses
+// nothing and is itself a finding (see CheckIgnores): an exemption
+// that does not say what it exempts or why is unreviewable.
 const IgnoreDirective = "tintvet:ignore"
 
-// ignoredLines returns the set of source lines covered by
+// parseIgnore splits an ignore directive into its analyzer name and
+// reason. found reports whether the comment is an ignore directive at
+// all; ok reports whether it follows the full grammar.
+func parseIgnore(text string) (analyzer, reason string, found, ok bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(t, IgnoreDirective) {
+		return "", "", false, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(t, IgnoreDirective))
+	analyzer, reason, colon := strings.Cut(rest, ":")
+	analyzer = strings.TrimSpace(analyzer)
+	reason = strings.TrimSpace(reason)
+	if !colon || analyzer == "" || strings.ContainsAny(analyzer, " \t") || reason == "" {
+		return analyzer, reason, true, false
+	}
+	return analyzer, reason, true, true
+}
+
+// ignoredLines returns the set of source lines covered by well-formed
 // //tintvet:ignore comments in f: the comment's own line and the line
 // after it (so the directive can trail the flagged statement or sit
-// on its own line above it).
+// on its own line above it). Malformed directives suppress nothing.
 func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	out := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			if strings.HasPrefix(text, IgnoreDirective) {
+			if _, _, found, ok := parseIgnore(c.Text); found && ok {
 				line := fset.Position(c.Pos()).Line
 				out[line] = true
 				out[line+1] = true
@@ -112,13 +134,46 @@ func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	return out
 }
 
+// CheckIgnores reports every //tintvet:ignore directive that does not
+// carry both an analyzer name and a reason. These are findings in
+// their own right — a bare ignore hides a diagnostic without leaving
+// a reviewable trace of what was silenced or why.
+func CheckIgnores(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, _, found, ok := parseIgnore(c.Text); found && !ok {
+					out = append(out, Diagnostic{
+						Analyzer: "tintvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  "bare tintvet:ignore suppresses nothing; write //tintvet:ignore <analyzer>: <reason>",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
 // FilterIgnored drops diagnostics whose line carries (or directly
-// follows) a //tintvet:ignore comment.
+// follows) a well-formed //tintvet:ignore comment. Suppressions are
+// merged per filename rather than overwritten, so two files that
+// happen to register under the same name in the FileSet (duplicate
+// basenames from different load roots) cannot silently drop each
+// other's directives.
 func FilterIgnored(fset *token.FileSet, files []*ast.File, ds []Diagnostic) []Diagnostic {
 	ignored := map[string]map[int]bool{}
 	for _, f := range files {
-		pos := fset.Position(f.Pos())
-		ignored[pos.Filename] = ignoredLines(fset, f)
+		name := fset.Position(f.Pos()).Filename
+		lines := ignored[name]
+		if lines == nil {
+			lines = map[int]bool{}
+			ignored[name] = lines
+		}
+		for line := range ignoredLines(fset, f) {
+			lines[line] = true
+		}
 	}
 	kept := ds[:0]
 	for _, d := range ds {
@@ -128,4 +183,34 @@ func FilterIgnored(fset *token.FileSet, files []*ast.File, ds []Diagnostic) []Di
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// RunSuite runs every applicable analyzer in suite over every package
+// in prog and returns the surviving diagnostics in file/line order.
+// Malformed ignore directives are reported once per package alongside
+// the analyzers' own findings. A Run error aborts the suite: an
+// analyzer that cannot complete is a tooling bug, not a finding.
+func RunSuite(prog *Program, suite []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		out = append(out, CheckIgnores(prog.Fset, pkg.Files)...)
+		for _, a := range suite {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			out = append(out, FilterIgnored(prog.Fset, pkg.Files, pass.Diagnostics())...)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
 }

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, fset *token.FileSet, name, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return f
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text      string
+		found, ok bool
+	}{
+		{"// plain comment", false, false},
+		{"//tintvet:ignore detrand: seeded for replay", true, true},
+		{"// tintvet:ignore maporder: order handled by caller", true, true},
+		{"//tintvet:ignore", true, false},
+		{"//tintvet:ignore detrand", true, false},
+		{"//tintvet:ignore detrand:", true, false},
+		{"//tintvet:ignore : missing analyzer", true, false},
+		{"//tintvet:ignore two words: reason", true, false},
+	}
+	for _, c := range cases {
+		_, _, found, ok := parseIgnore(c.text)
+		if found != c.found || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = found %v ok %v, want found %v ok %v",
+				c.text, found, ok, c.found, c.ok)
+		}
+	}
+}
+
+func TestCheckIgnoresFlagsBareDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f := parse(t, fset, "a.go", `package p
+
+var a = 1 //tintvet:ignore
+var b = 2 //tintvet:ignore detrand: fine here
+var c = 3 //tintvet:ignore detrand
+`)
+	ds := CheckIgnores(fset, []*ast.File{f})
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Message, "bare tintvet:ignore") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+	if ds[0].Pos.Line != 3 || ds[1].Pos.Line != 5 {
+		t.Errorf("diagnostics at lines %d, %d; want 3, 5", ds[0].Pos.Line, ds[1].Pos.Line)
+	}
+}
+
+func TestMalformedIgnoreDoesNotSuppress(t *testing.T) {
+	fset := token.NewFileSet()
+	f := parse(t, fset, "a.go", `package p
+
+var a = 1 //tintvet:ignore
+`)
+	ds := []Diagnostic{{Analyzer: "x", Pos: token.Position{Filename: "a.go", Line: 3}}}
+	if got := FilterIgnored(fset, []*ast.File{f}, ds); len(got) != 1 {
+		t.Fatalf("bare ignore suppressed a diagnostic: kept %d of 1", len(got))
+	}
+}
+
+// TestFilterIgnoredDuplicateFilenames registers two files under the
+// same name in one FileSet — the shape produced by loading packages
+// from different roots with relative paths. The suppression sets must
+// merge; the old overwrite behavior dropped whichever file's
+// directives were registered first.
+func TestFilterIgnoredDuplicateFilenames(t *testing.T) {
+	fset := token.NewFileSet()
+	withIgnore := parse(t, fset, "dup.go", `package p
+
+var a = 1 //tintvet:ignore x: covered by integration test
+`)
+	without := parse(t, fset, "dup.go", `package q
+
+var b = 2
+`)
+	ds := []Diagnostic{
+		{Analyzer: "x", Pos: token.Position{Filename: "dup.go", Line: 3}, Message: "finding"},
+	}
+	// Order matters for the regression: the file without directives
+	// is registered second and used to overwrite the first's lines.
+	got := FilterIgnored(fset, []*ast.File{withIgnore, without}, append([]Diagnostic(nil), ds...))
+	if len(got) != 0 {
+		t.Fatalf("suppression dropped by duplicate filename: kept %v", got)
+	}
+}
+
+// TestRunSuiteApplies drives RunSuite over a fake program and checks
+// that the Applies filter decides which packages each analyzer sees.
+func TestRunSuiteApplies(t *testing.T) {
+	fset := token.NewFileSet()
+	mk := func(path string) Package {
+		return Package{
+			Path:  path,
+			Files: []*ast.File{parse(t, fset, path+"/f.go", "package p\n")},
+		}
+	}
+	prog := &Program{
+		Fset:     fset,
+		Packages: []Package{mk("m/internal/serve"), mk("m/internal/kernel"), mk("m/cmd/tool")},
+	}
+
+	var ran []string
+	record := func(name string, applies func(string) bool) *Analyzer {
+		return &Analyzer{
+			Name:    name,
+			Applies: applies,
+			Run: func(pass *Pass) error {
+				ran = append(ran, name+"@"+pass.Pkg.Path())
+				pass.Reportf(pass.Files[0].Pos(), "finding from %s", name)
+				return nil
+			},
+		}
+	}
+
+	cases := []struct {
+		name    string
+		applies func(string) bool
+		want    []string
+	}{
+		{"everywhere", nil, []string{"m/internal/serve", "m/internal/kernel", "m/cmd/tool"}},
+		{"internal-only", func(p string) bool { return strings.Contains(p, "/internal/") },
+			[]string{"m/internal/serve", "m/internal/kernel"}},
+		{"serve-only", func(p string) bool { return strings.HasSuffix(p, "/serve") },
+			[]string{"m/internal/serve"}},
+		{"nowhere", func(string) bool { return false }, nil},
+	}
+	for _, c := range cases {
+		ran = nil
+		// Pkg is only read by the recorder above, so a named dummy
+		// package per load path keeps the fake cheap.
+		for i := range prog.Packages {
+			prog.Packages[i].Types = types.NewPackage(prog.Packages[i].Path, "p")
+		}
+		diags, err := RunSuite(prog, []*Analyzer{record(c.name, c.applies)})
+		if err != nil {
+			t.Fatalf("%s: RunSuite: %v", c.name, err)
+		}
+		var want []string
+		for _, p := range c.want {
+			want = append(want, c.name+"@"+p)
+		}
+		if strings.Join(ran, ",") != strings.Join(want, ",") {
+			t.Errorf("%s: ran %v, want %v", c.name, ran, want)
+		}
+		if len(diags) != len(c.want) {
+			t.Errorf("%s: %d diagnostics, want %d", c.name, len(diags), len(c.want))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package goroleak enforces goroutine lifecycle discipline. Every
+// `go` statement must spawn a function the package can shut down:
+// either the spawn is tracked by a sync.WaitGroup (an Add call in the
+// spawning function and a Done call in the spawned body — the
+// worker-pool idiom) or the body visibly waits on a stop signal (a
+// select, a channel receive, or a range over a channel, any of which
+// lets a close() unblock it). A goroutine with neither is a leak: it
+// outlives its server and no test or Close path can prove it exited.
+//
+// The analyzer also flags blocking-while-locked hazards: a channel
+// send or receive, a default-less select, or a sync.WaitGroup.Wait
+// reached while any mutex may be held (locally, or via a direct
+// intra-package call chain — lockset.EntryMay). Blocking under a lock
+// couples the lock's hold time to another goroutine's progress; if
+// that goroutine needs the same lock, the system deadlocks, and even
+// when it does not, every other waiter of the lock stalls behind a
+// channel that may never be ready. The repo's rule is absolute: never
+// block while holding a lock.
+package goroleak
+
+import (
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/lockset"
+)
+
+// Analyzer reports untracked goroutines and blocking operations
+// reached with a lock held.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every `go` statement must be WaitGroup-tracked (Add in the spawner, " +
+		"Done in the body) or select/receive on a visible stop channel; and no " +
+		"channel send/receive, select, or WaitGroup.Wait may be reached while " +
+		"a mutex may be held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	sums := lockset.ForPackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+
+	for _, fn := range sums.Funcs {
+		for _, spawn := range fn.Gos {
+			body := spawn.Body
+			if body == nil && spawn.Callee != nil {
+				body = sums.Summary(spawn.Callee)
+			}
+			if body == nil {
+				pass.Reportf(spawn.Stmt.Pos(),
+					"%s spawns a goroutine running a function outside the package; wrap it in a tracked func literal (WaitGroup Add/Done or a stop channel) so its lifecycle is visible",
+					fn.Name)
+				continue
+			}
+			tracked := fn.WaitGroupAdd && waitGroupDoneReachable(sums, body, 0)
+			if !tracked && !stopSignalReachable(sums, body, 0) {
+				pass.Reportf(spawn.Stmt.Pos(),
+					"goroutine spawned by %s is untracked: no WaitGroup Add/Done pair and no select/receive on a stop channel in %s; it cannot be shut down or awaited",
+					fn.Name, body.Name)
+			}
+		}
+
+		// Blocking-while-locked hazards.
+		entry := sums.EntryMay(fn)
+		for _, blk := range fn.Blocks {
+			held := blk.Held.Union(entry)
+			if len(held) == 0 {
+				continue
+			}
+			pass.Reportf(blk.Pos,
+				"%s in %s while %s may be held; never block while holding a lock — release it before the %s",
+				blk.What, fn.Name, strings.Join(held.Sorted(), ", "), blk.What)
+		}
+	}
+	return nil
+}
+
+// waitGroupDoneReachable reports whether the spawned body calls
+// WaitGroup.Done, directly or through direct intra-package calls
+// (bounded depth — the repo's helpers are shallow).
+func waitGroupDoneReachable(sums *lockset.Summaries, fn *lockset.FuncSummary, depth int) bool {
+	if fn.WaitGroupDone {
+		return true
+	}
+	if depth >= 3 {
+		return false
+	}
+	for _, c := range fn.Calls {
+		if callee := sums.Summary(c.Callee); callee != nil && waitGroupDoneReachable(sums, callee, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// stopSignalReachable reports whether the spawned body blocks on a
+// visible signal — a select, channel receive, or range over a channel
+// — directly or through direct intra-package calls.
+func stopSignalReachable(sums *lockset.Summaries, fn *lockset.FuncSummary, depth int) bool {
+	for _, blk := range fn.Blocks {
+		if blk.What == "select" || blk.What == "channel receive" {
+			return true
+		}
+	}
+	if depth >= 3 {
+		return false
+	}
+	for _, c := range fn.Calls {
+		if callee := sums.Summary(c.Callee); callee != nil && stopSignalReachable(sums, callee, depth+1) {
+			return true
+		}
+	}
+	return false
+}

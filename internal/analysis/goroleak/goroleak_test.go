@@ -1,0 +1,11 @@
+package goroleak
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestGoroleak(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}

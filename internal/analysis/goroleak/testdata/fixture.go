@@ -1,0 +1,71 @@
+package fixture
+
+import (
+	"sort"
+	"sync"
+)
+
+// leak spawns a goroutine with no WaitGroup tracking and no stop
+// signal in its body: nothing can await or shut it down.
+func leak(ch chan int) {
+	go func() { // want "untracked"
+		ch <- 1
+	}()
+}
+
+// leakExternal hands the goroutine body to another package, so the
+// analyzer cannot see a Done call or a stop channel inside it.
+func leakExternal(xs []string) {
+	go sort.Strings(xs) // want "outside the package"
+}
+
+// addWithoutDone has the Add half of the pairing but the body never
+// calls Done, so wg.Wait() on it hangs forever.
+func addWithoutDone(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() { // want "untracked"
+		ch <- 2
+	}()
+}
+
+// sendLocked blocks on a channel send while holding mu: every other
+// waiter of mu stalls until some receiver shows up.
+type mailbox struct {
+	mu    sync.Mutex
+	inbox chan int
+	n     int
+}
+
+func (m *mailbox) sendLocked(v int) {
+	m.mu.Lock()
+	m.inbox <- v // want "channel send in .* while .* may be held"
+	m.mu.Unlock()
+}
+
+func (m *mailbox) waitLocked(wg *sync.WaitGroup) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait in .* while .* may be held"
+}
+
+func (m *mailbox) selectLocked(stop chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want "select in .* while .* may be held"
+	case <-stop:
+	case v := <-m.inbox:
+		m.n += v
+	}
+}
+
+// recvHelper only blocks via a caller that holds the lock; EntryMay
+// propagates mailbox.mu into the helper and flags the receive.
+func (m *mailbox) recvHelper() int {
+	return <-m.inbox // want "channel receive in .* while .* may be held"
+}
+
+func (m *mailbox) drainUnderLock() {
+	m.mu.Lock()
+	m.n += m.recvHelper()
+	m.mu.Unlock()
+}

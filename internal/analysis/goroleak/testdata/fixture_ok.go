@@ -1,0 +1,100 @@
+package fixture
+
+import "sync"
+
+// The negative cases: tracked goroutines and lock-free blocking must
+// produce no diagnostic.
+
+// pool is the worker-pool idiom: Add in the spawner, deferred Done in
+// the body, Wait with no lock held.
+func pool(jobs []int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results <- j * 2
+		}(j)
+	}
+	wg.Wait()
+	close(results)
+	sum := 0
+	for v := range results {
+		sum += v
+	}
+	return sum
+}
+
+// server's worker selects on a visible stop channel, so a close()
+// can always unblock it even without WaitGroup tracking.
+type server struct {
+	mu   sync.Mutex
+	stop chan struct{}
+	work chan int
+	n    int
+}
+
+func (s *server) start() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.work:
+				s.bump(v)
+			}
+		}
+	}()
+}
+
+func (s *server) bump(v int) {
+	s.mu.Lock()
+	s.n += v
+	s.mu.Unlock()
+}
+
+// rangeWorker blocks on a range over a channel — a visible receive
+// that close(feed) terminates.
+func rangeWorker(feed chan int) {
+	go func() {
+		for v := range feed {
+			_ = v
+		}
+	}()
+}
+
+// releaseThenSend takes the lock for the state update only and blocks
+// with nothing held.
+func (s *server) releaseThenSend(v int) {
+	s.mu.Lock()
+	s.n += v
+	s.mu.Unlock()
+	s.work <- v
+}
+
+// selectWithDefault never blocks, so holding the lock across it is
+// fine (a polling drain).
+func (s *server) tryDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.work:
+		s.n += v
+	default:
+	}
+}
+
+// doneViaHelper: the Done call sits one call deep in the body; the
+// reachability walk must still find it.
+func doneViaHelper(wg *sync.WaitGroup, out chan int) {
+	wg.Add(1)
+	go func() {
+		finish(wg, out)
+	}()
+}
+
+func finish(wg *sync.WaitGroup, out chan int) {
+	defer wg.Done()
+	out <- 1
+}

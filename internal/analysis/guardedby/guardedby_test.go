@@ -1,0 +1,11 @@
+package guardedby
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestGuardedby(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}

@@ -1,0 +1,54 @@
+package fixture
+
+import "sync"
+
+// registry's table is contractually guarded by mu; the functions
+// below violate the contract in the ways guardedby must catch.
+type registry struct {
+	mu sync.Mutex
+	// table maps names to slots.
+	table map[string]int //tintvet:guardedby mu
+	next  int            //tintvet:guardedby mu
+}
+
+func (r *registry) unlockedRead(name string) int {
+	return r.table[name] // want "read of registry.table .* without holding"
+}
+
+func (r *registry) unlockedWrite(name string) {
+	r.table[name] = 1 // want "write of registry.table .* without holding"
+	r.next++          // want "write of registry.next .* without holding"
+}
+
+func (r *registry) lockReleasedTooSoon(name string) int {
+	r.mu.Lock()
+	n := r.table[name]
+	r.mu.Unlock()
+	r.table[name] = n + 1 // want "write of registry.table .* without holding"
+	return n
+}
+
+// helperMixedCallers is called once with the lock and once without,
+// so the guard is not provably held on entry (EntryMust is the
+// intersection over call sites) and its access is flagged.
+func (r *registry) helperMixedCallers() {
+	r.next++ // want "write of registry.next .* without holding"
+}
+
+func (r *registry) lockedCaller() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helperMixedCallers()
+}
+
+func (r *registry) unlockedCaller() {
+	r.helperMixedCallers()
+}
+
+// Malformed annotations are diagnostics themselves.
+type broken struct {
+	counter int
+	a       int //tintvet:guardedby missing // want "not a field of broken"
+	b       int //tintvet:guardedby counter // want "not a sync.Mutex"
+	c       int //tintvet:guardedby // want "names no mutex field"
+}

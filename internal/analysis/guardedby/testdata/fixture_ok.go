@@ -1,0 +1,90 @@
+package fixture
+
+import "sync"
+
+// The negative cases: every access pattern here satisfies its
+// guardedby contract and must produce no diagnostic.
+
+// store exercises plain locking, defer, the locked-helper idiom
+// (EntryMust propagation), and an annotation written on its own line
+// above the field.
+type store struct {
+	mu sync.Mutex
+	//tintvet:guardedby mu
+	items []string
+}
+
+func (s *store) add(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, v)
+}
+
+func (s *store) lenLocked() int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n
+}
+
+// drainLocked is only ever called with the lock held, so its naked
+// access is clean by interprocedural propagation.
+func (s *store) drain() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainLocked()
+}
+
+func (s *store) drainLocked() []string {
+	out := s.items
+	s.items = nil
+	return out
+}
+
+// striped guards a bucket table with a stripe array; the alias idiom
+// (mu := &striped.locks[i]) must resolve to the collapsed stripe key.
+type striped struct {
+	locks   [8]sync.Mutex
+	buckets [][]int //tintvet:guardedby locks
+}
+
+func (t *striped) put(b, v int) {
+	mu := &t.locks[b%len(t.locks)]
+	mu.Lock()
+	t.buckets[b] = append(t.buckets[b], v)
+	mu.Unlock()
+}
+
+func (t *striped) get(b int) []int {
+	t.locks[b%len(t.locks)].Lock()
+	defer t.locks[b%len(t.locks)].Unlock()
+	return t.buckets[b]
+}
+
+// adjacent pins the directive's scope: the annotation trailing hot
+// must not leak to cold on the next line via the line-above rule.
+type adjacent struct {
+	mu   sync.Mutex
+	hot  int //tintvet:guardedby mu
+	cold int
+}
+
+func (a *adjacent) readCold() int { return a.cold }
+
+func (a *adjacent) readHot() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hot
+}
+
+// embedded uses an embedded sync.Mutex as the guard.
+type embedded struct {
+	sync.Mutex
+	n int //tintvet:guardedby Mutex
+}
+
+func (e *embedded) bump() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}

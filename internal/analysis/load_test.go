@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeErrorFailsHard pins the loader's contract: a package
+// that does not typecheck yields an error naming it, never a partial
+// Pass an analyzer could run over and silently under-report on.
+func TestLoadTypeErrorFailsHard(t *testing.T) {
+	prog, err := Load(".", []string{"./testdata/brokenpkg"})
+	if err == nil {
+		t.Fatalf("Load succeeded on a type-error package: %+v", prog)
+	}
+	if !strings.Contains(err.Error(), "typechecking") || !strings.Contains(err.Error(), "brokenpkg") {
+		t.Errorf("error %q does not name the typechecking failure and package", err)
+	}
+}
+
+func TestLoadWellTypedPackage(t *testing.T) {
+	prog, err := Load(".", []string{"./testdata/okpkg"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var found bool
+	for _, pkg := range prog.Packages {
+		if !strings.HasSuffix(pkg.Path, "testdata/okpkg") {
+			continue
+		}
+		found = true
+		if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+			t.Errorf("okpkg loaded without types/info/files: %+v", pkg)
+		}
+		if pkg.Types != nil && pkg.Types.Scope().Lookup("Sorted") == nil {
+			t.Errorf("okpkg scope is missing Sorted")
+		}
+	}
+	if !found {
+		t.Fatalf("okpkg not in loaded packages: %v", prog.Packages)
+	}
+}

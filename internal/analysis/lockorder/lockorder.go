@@ -1,0 +1,165 @@
+// Package lockorder checks the package-wide lock-acquisition order.
+// It builds a directed graph over type-keyed lock nodes (see
+// internal/analysis/lockset): an edge A→B is recorded whenever B is
+// locked while A may be held — locally, or on some chain of direct
+// intra-package calls. Any cycle in that graph is a deadlock risk:
+// two goroutines taking the cycle's locks in different orders can
+// block each other forever, and a self-edge means a non-reentrant
+// sync.Mutex may be re-locked by its own holder, which deadlocks
+// immediately.
+//
+// The analyzer additionally enforces release discipline: a Lock()
+// whose function contains neither a matching Unlock() nor a
+// `defer Unlock()` for the same lock is flagged. The repo's locking
+// idiom is strictly scoped — lock, touch the guarded state, unlock
+// in the same function — so a lock with no visible release is either
+// a leak or a lock-handoff pattern the rest of the suite cannot
+// reason about.
+package lockorder
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis"
+	"github.com/tintmalloc/tintmalloc/internal/analysis/lockset"
+)
+
+// Analyzer reports lock-order cycles and Lock calls with no matching
+// release.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "build the per-package lock-acquisition graph (edge A→B when B is " +
+		"locked while A may be held, propagated through direct intra-package " +
+		"calls, lock stripes collapsed to one node) and report cycles as " +
+		"deadlock risks; also flag Lock() with no Unlock/defer Unlock in the " +
+		"same function",
+	Run: run,
+}
+
+// edge is one recorded acquisition-order observation, kept with the
+// first witness position so reports are stable and clickable.
+type edge struct {
+	pos token.Pos
+	fn  string
+}
+
+func run(pass *analysis.Pass) error {
+	sums := lockset.ForPackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+
+	// Release discipline.
+	for _, fn := range sums.Funcs {
+		for _, ev := range fn.Locks {
+			if !ev.DeferredUnlock && !ev.PlainUnlock {
+				pass.Reportf(ev.Pos,
+					"%s locks %s with no Unlock or defer Unlock in the same function; scoped locking (lock, touch state, unlock) is the only permitted idiom",
+					fn.Name, ev.Key)
+			}
+		}
+	}
+
+	// Acquisition graph: held (local ∪ may-entry) → newly locked.
+	edges := map[string]map[string]edge{}
+	for _, fn := range sums.Funcs {
+		entry := sums.EntryMay(fn)
+		for _, ev := range fn.Locks {
+			for src := range ev.Held.Union(entry) {
+				if edges[src] == nil {
+					edges[src] = map[string]edge{}
+				}
+				if _, seen := edges[src][ev.Key]; !seen {
+					edges[src][ev.Key] = edge{pos: ev.Pos, fn: fn.Name}
+				}
+			}
+		}
+	}
+
+	// Self-edges first: re-locking a held non-reentrant mutex is an
+	// immediate deadlock, reported separately from ordering cycles.
+	var nodes []string
+	for src := range edges {
+		nodes = append(nodes, src)
+	}
+	sort.Strings(nodes)
+	for _, src := range nodes {
+		if e, ok := edges[src][src]; ok {
+			pass.Reportf(e.pos,
+				"%s may be locked in %s while already held on a call path into it; sync.Mutex is not reentrant — this self-cycle deadlocks",
+				src, e.fn)
+			delete(edges[src], src)
+		}
+	}
+
+	// Ordering cycles: report one diagnostic per cycle, anchored at
+	// the lexicographically first edge of the cycle.
+	for _, cyc := range cycles(edges) {
+		e := edges[cyc[0]][cyc[1]]
+		pass.Reportf(e.pos,
+			"lock-order cycle %s: the package acquires these locks in inconsistent order (edge %s→%s in %s); pick one global order",
+			strings.Join(append(cyc, cyc[0]), "→"), cyc[0], cyc[1], e.fn)
+	}
+	return nil
+}
+
+// cycles returns every elementary cycle found by DFS back-edge
+// detection, deterministically: nodes are visited in sorted order and
+// each cycle is rotated to start at its smallest node and deduped.
+func cycles(edges map[string]map[string]edge) [][]string {
+	var nodes []string
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	seen := map[string]bool{} // canonical cycle signature -> reported
+	var out [][]string
+	var stack []string
+	onStack := map[string]int{}
+	var visit func(n string)
+	visited := map[string]bool{}
+	visit = func(n string) {
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		var succs []string
+		for m := range edges[n] {
+			succs = append(succs, m)
+		}
+		sort.Strings(succs)
+		for _, m := range succs {
+			if i, ok := onStack[m]; ok {
+				cyc := append([]string(nil), stack[i:]...)
+				cyc = rotate(cyc)
+				sig := strings.Join(cyc, "→")
+				if !seen[sig] {
+					seen[sig] = true
+					out = append(out, cyc)
+				}
+				continue
+			}
+			if !visited[m] {
+				visit(m)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+		visited[n] = true
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			visit(n)
+		}
+	}
+	return out
+}
+
+// rotate rewrites a cycle to start at its smallest node.
+func rotate(cyc []string) []string {
+	min := 0
+	for i, n := range cyc {
+		if n < cyc[min] {
+			min = i
+		}
+	}
+	return append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+}

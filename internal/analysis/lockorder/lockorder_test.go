@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/analysis/atest"
+)
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, Analyzer, "testdata")
+}

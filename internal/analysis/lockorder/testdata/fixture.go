@@ -1,0 +1,62 @@
+package fixture
+
+import "sync"
+
+// account/ledger lock in inconsistent order across the two transfer
+// paths: creditFirst acquires ledgerMu then acctMu, debitFirst the
+// reverse — the canonical AB/BA deadlock.
+type bank struct {
+	ledgerMu sync.Mutex
+	acctMu   sync.Mutex
+	ledger   int
+	acct     int
+}
+
+func (b *bank) creditFirst() {
+	b.ledgerMu.Lock()
+	defer b.ledgerMu.Unlock()
+	b.acctMu.Lock()
+	b.acct++
+	b.acctMu.Unlock()
+}
+
+func (b *bank) debitFirst() {
+	b.acctMu.Lock()
+	defer b.acctMu.Unlock()
+	b.ledgerMu.Lock() // want "lock-order cycle"
+	b.ledger--
+	b.ledgerMu.Unlock()
+}
+
+// relockViaHelper re-acquires a held mutex through a helper call —
+// the self-cycle that deadlocks a non-reentrant sync.Mutex. The edge
+// is only visible interprocedurally: flush itself looks clean.
+type journal struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+func (j *journal) append(v int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = append(j.entries, v)
+	j.flush()
+}
+
+func (j *journal) flush() {
+	j.mu.Lock() // want "already held on a call path"
+	j.entries = j.entries[:0]
+	j.mu.Unlock()
+}
+
+// leakyLock never releases: no Unlock and no defer Unlock anywhere in
+// the function.
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) leakyLock() int {
+	b.mu.Lock() // want "no Unlock or defer Unlock"
+	return b.v
+}

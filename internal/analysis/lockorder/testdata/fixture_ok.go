@@ -1,0 +1,64 @@
+package fixture
+
+import "sync"
+
+// The negative cases: consistent ordering, stripe collapsing, scoped
+// release — none of these may produce a diagnostic.
+
+// pool locks outerMu before any stripe, everywhere; stripes collapse
+// to one node, so taking different stripe indices on different paths
+// is not an inconsistency.
+type pool struct {
+	outerMu sync.Mutex
+	stripes []sync.Mutex
+	buckets [][]int
+}
+
+func (p *pool) putConsistent(b, v int) {
+	p.outerMu.Lock()
+	defer p.outerMu.Unlock()
+	mu := &p.stripes[b%len(p.stripes)]
+	mu.Lock()
+	p.buckets[b] = append(p.buckets[b], v)
+	mu.Unlock()
+}
+
+func (p *pool) getConsistent(b int) int {
+	p.outerMu.Lock()
+	mu := &p.stripes[(b+1)%len(p.stripes)]
+	mu.Lock()
+	v := p.buckets[b][0]
+	mu.Unlock()
+	p.outerMu.Unlock()
+	return v
+}
+
+// deferRelease pairs its Lock with a deferred Unlock.
+func (p *pool) deferRelease() int {
+	p.outerMu.Lock()
+	defer p.outerMu.Unlock()
+	return len(p.buckets)
+}
+
+// helperUnderLock calls a lock-free helper while holding the mutex —
+// a call edge, but no lock acquisition in the callee, so no graph
+// edge and no cycle.
+func (p *pool) helperUnderLock() int {
+	p.outerMu.Lock()
+	defer p.outerMu.Unlock()
+	return p.rawLen()
+}
+
+func (p *pool) rawLen() int { return len(p.buckets) }
+
+// condRelease unlocks on both paths of a branch.
+func (p *pool) condRelease(fast bool) int {
+	p.outerMu.Lock()
+	if fast {
+		p.outerMu.Unlock()
+		return 0
+	}
+	n := len(p.buckets)
+	p.outerMu.Unlock()
+	return n
+}

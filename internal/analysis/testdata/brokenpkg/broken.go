@@ -1,0 +1,5 @@
+// Package brokenpkg does not typecheck; load_test.go uses it to pin
+// the loader's fail-hard contract (error, never a partial Pass).
+package brokenpkg
+
+var slot int = "not an int"

@@ -1,0 +1,11 @@
+// Package okpkg is a minimal well-typed package for load_test.go.
+package okpkg
+
+import "sort"
+
+// Sorted returns a sorted copy of xs.
+func Sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

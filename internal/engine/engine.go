@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"iter"
+	"sync"
 
 	"github.com/tintmalloc/tintmalloc/internal/clock"
 	"github.com/tintmalloc/tintmalloc/internal/heap"
@@ -180,11 +181,18 @@ type Tracer func(TraceEvent)
 // Engine runs programs on one memory system. Create a fresh Engine
 // (and memory system) per experiment run.
 type Engine struct {
-	mem      *mem.System
-	threads  []Thread
-	now      clock.Time
-	tracer   Tracer
-	audit    func() error
+	mem     *mem.System
+	threads []Thread
+	now     clock.Time
+	tracer  Tracer
+	// hookMu guards the audit hook: SetAuditHook may race with a Run
+	// driven from another goroutine (tests wire auditors while a
+	// server-backed run is in flight), and a torn function-value read
+	// is undefined behaviour. The event loop itself stays lock-free —
+	// the hook is read once per phase barrier, never per access.
+	//tintvet:ignore cycleclock: hookMu guards the test-installed audit hook, not event-loop state
+	hookMu   sync.Mutex
+	audit    func() error //tintvet:guardedby hookMu
 	opBudget uint64
 	// release[i] is thread i's personal start time for the next
 	// phase (diverges from `now` after a NoWait phase).
@@ -200,7 +208,18 @@ func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 // every barrier of every simulated program; a non-nil return aborts
 // the run with that error. The hook is a plain function value — no
 // build tags — and is never set outside tests.
-func (e *Engine) SetAuditHook(h func() error) { e.audit = h }
+func (e *Engine) SetAuditHook(h func() error) {
+	e.hookMu.Lock() //tintvet:ignore cycleclock: hook installation, outside the event loop
+	defer e.hookMu.Unlock()
+	e.audit = h
+}
+
+// auditHook snapshots the installed hook for one barrier call.
+func (e *Engine) auditHook() func() error {
+	e.hookMu.Lock() //tintvet:ignore cycleclock: once-per-barrier hook read, not per-access state
+	defer e.hookMu.Unlock()
+	return e.audit
+}
 
 // defaultOpBudget guards against runaway thread bodies (an infinite
 // yield loop would otherwise hang the simulation silently).
@@ -338,8 +357,8 @@ func (e *Engine) Run(phases []Phase) (*Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
 		}
-		if e.audit != nil {
-			if err := e.audit(); err != nil {
+		if audit := e.auditHook(); audit != nil {
+			if err := audit(); err != nil {
 				return res, fmt.Errorf("engine: audit after phase %q: %w", ph.Name, err)
 			}
 		}

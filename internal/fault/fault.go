@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tintmalloc/tintmalloc/internal/kernel"
 )
@@ -106,14 +107,19 @@ func (s Stats) TotalInjected() uint64 {
 }
 
 // Injector evaluates a Plan against a deterministic decision stream.
-// Build one per simulated kernel (Wire installs its hooks); it is not
-// safe for concurrent use, matching the kernel it instruments.
+// Build one per simulated kernel (Wire installs its hooks). The
+// decision counters are mutex-guarded, so the injector is safe for
+// concurrent use — but note the stream itself is only deterministic
+// when the kernel consults it in a deterministic order, as the
+// single-threaded simulator does.
 type Injector struct {
-	seed     uint64
-	plan     Plan
-	seq      [NumSites]uint64 // per-site consultation counters
-	ruleHits []uint64         // per-rule injections, for Limit
-	stats    Stats
+	seed uint64
+	plan Plan
+
+	mu       sync.Mutex
+	seq      [NumSites]uint64 //tintvet:guardedby mu -- per-site consultation counters
+	ruleHits []uint64         //tintvet:guardedby mu -- per-rule injections, for Limit
+	stats    Stats            //tintvet:guardedby mu
 }
 
 // New builds an injector for plan driven by seed. Two injectors with
@@ -126,7 +132,18 @@ func New(seed uint64, plan Plan) *Injector {
 func (in *Injector) Plan() Plan { return in.plan }
 
 // Stats returns a copy of the activity counters.
-func (in *Injector) Stats() Stats { return in.stats }
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// noteSqueezeDenial counts one OOM forced by a capacity squeeze.
+func (in *Injector) noteSqueezeDenial() {
+	in.mu.Lock()
+	in.stats.SqueezeDenials++
+	in.mu.Unlock()
+}
 
 // splitmix64 is the SplitMix64 finalizer: a bijective avalanche over
 // uint64, the standard cheap way to turn a structured counter into
@@ -144,6 +161,8 @@ func splitmix64(x uint64) uint64 {
 // at the same sequence number on different objects draw independent
 // bits.
 func (in *Injector) decide(site Site, node int, salt uint64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.stats.Decisions[site]++
 	seq := in.seq[site]
 	in.seq[site]++
@@ -191,7 +210,7 @@ func (in *Injector) Wire(k *kernel.Kernel) error {
 		n := n
 		k.SetZoneFaultHook(n, func(order int) bool {
 			if reserve[n] > 0 && k.FreeFramesOfNode(n) < reserve[n]+uint64(1)<<order {
-				in.stats.SqueezeDenials++
+				in.noteSqueezeDenial()
 				return true
 			}
 			return in.decide(SiteBuddyAlloc, n, uint64(order))

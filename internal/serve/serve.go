@@ -144,13 +144,13 @@ type Server struct {
 	assignedLLC  []atomic.Int32
 
 	loanMu sync.Mutex
-	loans  map[phys.Frame]Loan
+	loans  map[phys.Frame]Loan //tintvet:guardedby loanMu
 	// rungOf[f] is rung+1 while a loan for f exists; 0 otherwise. It
 	// keeps the free fast path off loanMu when nothing is loaned.
 	rungOf []atomic.Int32
 
 	clientMu sync.Mutex
-	clients  []*Client
+	clients  []*Client //tintvet:guardedby clientMu
 
 	closed atomic.Bool
 	stop   chan struct{}

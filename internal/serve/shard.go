@@ -21,7 +21,7 @@ type shard struct {
 	base phys.Frame // global frame number of the zone's first frame
 
 	zoneMu sync.Mutex
-	zone   *buddy.Allocator // frames are zone-relative; add base
+	zone   *buddy.Allocator //tintvet:guardedby zoneMu -- frames are zone-relative; add base
 
 	nLLC    int
 	banks   []int // global bank colors owned, sorted
@@ -33,7 +33,7 @@ type shard struct {
 	// stripes[b%len(stripes)]; lock order is zoneMu before stripeMu,
 	// and no path holds two stripes at once.
 	stripes []sync.Mutex
-	lists   [][]phys.Frame
+	lists   [][]phys.Frame //tintvet:guardedby stripes
 	parkedN atomic.Int64
 
 	// refillQ carries misses to the shard's worker; pending counts
@@ -214,7 +214,9 @@ func (sh *shard) popAnyParked(s *Server) (phys.Frame, bool) {
 	if sh.parkedN.Load() == 0 {
 		return 0, false
 	}
-	for b := range sh.lists {
+	// The outer slice is immutable after newShard; only the buckets
+	// mutate, and popBucket takes the stripe for those.
+	for b := range sh.lists { //tintvet:ignore guardedby: outer slice immutable after construction; popBucket locks each bucket
 		if f, ok := sh.popBucket(b); ok {
 			return f, true
 		}
@@ -334,14 +336,25 @@ func (sh *shard) drainClosed(s *Server) {
 // and repeat until the batch is served or the zone is dry. Whoever
 // the zone cannot serve walks the borrow ladder — after the zone
 // lock is dropped, since the ladder locks other shards.
+//
+// Deliveries happen strictly after zoneMu is released: deliver blocks
+// on the response channel's buffer and, when the requester abandoned
+// the request at shutdown, re-enters the zone through s.reclaim —
+// either one under zoneMu is a deadlock (reclaim relocks zoneMu;
+// sync.Mutex is not reentrant).
 func (sh *shard) serveBatch(s *Server, batch []*refillReq) {
+	type served struct {
+		req   *refillReq
+		frame phys.Frame
+	}
 	waiting := batch
+	var done []served
 	sh.zoneMu.Lock()
 	for len(waiting) > 0 {
 		var still []*refillReq
 		for _, req := range waiting {
 			if f, ok := sh.popMatch(req.c, req.seq, s); ok {
-				req.deliver(sh, s, f, kernel.RungNone, nil)
+				done = append(done, served{req: req, frame: f})
 			} else {
 				still = append(still, req)
 			}
@@ -352,6 +365,9 @@ func (sh *shard) serveBatch(s *Server, batch []*refillReq) {
 		}
 	}
 	sh.zoneMu.Unlock()
+	for _, sv := range done {
+		sv.req.deliver(sh, s, sv.frame, kernel.RungNone, nil)
+	}
 	for _, req := range waiting {
 		if f, rung, ok := s.borrow(req.c, sh); ok {
 			req.deliver(sh, s, f, rung, nil)
