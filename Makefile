@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
+.PHONY: all build test test-short race bench bench-baseline bench-gate serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
 
 all: build lint test
 
@@ -19,9 +19,36 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark-regression harness: run every experiment at -parallel 1
-# and 8 and write cells/sec + engine ops/sec to BENCH_engine.json.
+# and 8 and write raw per-sample cells/sec + engine ops/sec to
+# BENCH_engine.json (benchfmt format 2; see cmd/tintstat).
 bench:
 	$(GO) run ./cmd/tintbench -exp bench -scale 0.1 -repeats 2 -out BENCH_engine.json
+
+# Regenerate the small fixed-seed report the CI bench-gate job diffs
+# against with `tintstat -exact-ops` (review the diff: the engine
+# ops/cells counters must only change when the simulation itself
+# intentionally changes; the wall-clock fields are host-local noise).
+bench-baseline:
+	$(GO) run ./cmd/tintbench -exp bench -scale 0.05 -repeats 1 \
+		-bench-parallel 1,2 -bench-samples 3 -out BENCH_smoke_baseline.json
+
+# Local version of the CI statistical regression gate: two same-host
+# harness runs diffed by tintstat, plus the deterministic -exact-ops
+# check against the checked-in baseline. The A/B half runs wide open
+# (-alpha 0.001 -threshold 30) because back-to-back runs on a busy
+# host drift by 20-30% from scheduling noise alone; it only fires on
+# catastrophic slowdowns. For a deliberate before/after comparison,
+# run the harness on a quiet host and use tintstat's defaults
+# (alpha 0.05, threshold 2%) instead.
+bench-gate:
+	$(GO) run ./cmd/tintbench -exp bench -scale 0.05 -repeats 1 \
+		-bench-parallel 1,2 -bench-samples 3 -out /tmp/tint_bench_a.json
+	$(GO) run ./cmd/tintbench -exp bench -scale 0.05 -repeats 1 \
+		-bench-parallel 1,2 -bench-samples 3 -out /tmp/tint_bench_b.json
+	$(GO) run ./cmd/tintstat -alpha 0.001 -threshold 30 \
+		/tmp/tint_bench_a.json /tmp/tint_bench_b.json
+	$(GO) run ./cmd/tintstat -exact-ops -threshold 1000000000 \
+		BENCH_smoke_baseline.json /tmp/tint_bench_a.json
 
 # Concurrent front-end shakeout: the kernel-vs-serve differential
 # test and the all-cores hammer, both under the race detector (see
@@ -49,6 +76,7 @@ profile:
 # change (review the diff!).
 golden:
 	$(GO) test ./internal/bench -run TestGolden -update
+	$(GO) test ./cmd/tintstat -run TestGolden -update
 
 # Regenerate every paper figure at full scale (slow; see -scale).
 figures:
@@ -73,6 +101,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzKernelInterleaving -fuzztime=30s ./internal/kernel
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/bench
+	$(GO) test -fuzz=FuzzSuiteRegistry -fuzztime=30s ./internal/suite
 
 # vet plus the repo's own determinism/correctness/concurrency
 # analyzers (cmd/tintvet); see CONTRIBUTING.md for the rules they

@@ -13,6 +13,15 @@
 //	tintbench -exp fig11 -scale 0.25 -repeats 3
 //	tintbench -exp fig13 -workload lbm -config 16_threads_4_nodes
 //	tintbench -exp bench -scale 0.1        # perf harness -> BENCH_engine.json
+//	tintbench -suite list                  # show the suite registry
+//	tintbench -suite smoke                 # run a registry suite
+//	tintbench -suites my.toml -suite mine  # user registry over defaults
+//
+// -suite runs a declaratively described workload × config × policy
+// matrix from the suite registry (internal/suite): the embedded
+// defaults re-express the hard-coded experiments, and -suites merges
+// a user TOML/JSON file over them. Explicit -scale/-repeats/-seed
+// flags override the suite entry's values.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/fault"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/serve"
+	"github.com/tintmalloc/tintmalloc/internal/suite"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
 
@@ -51,6 +61,9 @@ func main() {
 		chaosPol   = flag.String("policy", "MEM+LLC", "coloring policy for -exp chaos")
 		benchOut   = flag.String("out", "BENCH_engine.json", "output file for -exp bench")
 		benchPar   = flag.String("bench-parallel", "1,8", "comma-separated -parallel values the bench harness compares")
+		benchSamp  = flag.Int("bench-samples", 3, "wall-clock re-timings per cell for -exp bench/serve (raw samples land in the report)")
+		suitesFile = flag.String("suites", "", "suite registry file (TOML or JSON), merged over the embedded defaults")
+		suiteName  = flag.String("suite", "", "run a registry suite by name instead of -exp (\"list\" shows the registry)")
 		serveOut   = flag.String("serve-out", "BENCH_serve.json", "output file for -exp serve")
 		serveOps   = flag.Int("serve-ops", 20000, "churn operations per client for -exp serve")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -94,8 +107,12 @@ func main() {
 	chartOut := *format == "chart"
 	jsonOut := *format == "json"
 
+	if *suiteName != "" && *exp == "bench" || *suiteName != "" && *exp == "serve" {
+		fatal(fmt.Errorf("-suite does not combine with -exp %s", *exp))
+	}
+
 	if *exp == "bench" {
-		if err := runBenchHarness(os.Stdout, *benchOut, *benchPar, memBytes, params, *repeats); err != nil {
+		if err := runBenchHarness(os.Stdout, *benchOut, *benchPar, memBytes, params, *repeats, *benchSamp); err != nil {
 			fatal(err)
 		}
 		return
@@ -105,7 +122,7 @@ func main() {
 	// is wall-clock dependent and — like -exp bench — excluded from
 	// -exp all, whose outputs are byte-identical at any -parallel.
 	if *exp == "serve" {
-		if err := runServeHarness(os.Stdout, *serveOut, memBytes, *serveOps, serve.Config{}); err != nil {
+		if err := runServeHarness(os.Stdout, *serveOut, memBytes, *serveOps, *benchSamp, serve.Config{}); err != nil {
 			fatal(err)
 		}
 		return
@@ -117,6 +134,55 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// Registry-driven suite mode: -suite replaces -exp entirely.
+	if *suiteName != "" {
+		reg, err := suite.Load(*suitesFile)
+		if err != nil {
+			fatal(err)
+		}
+		if *suiteName == "list" {
+			for _, s := range reg.Suites {
+				fmt.Printf("%-16s %s\n", s.Name, s.Description)
+			}
+			return
+		}
+		s, err := reg.ByName(*suiteName)
+		if err != nil {
+			fatal(err)
+		}
+		// Flags the user typed explicitly beat the registry entry;
+		// entry values beat the flag defaults (suite.Effective).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale":
+				s.Scale = *scale
+			case "seed":
+				s.Seed = *seed
+			case "repeats":
+				s.Repeats = *repeats
+			}
+		})
+		r, err := suite.Run(mach, s, params, *repeats, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case csvOut:
+			if err := r.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case jsonOut:
+			if err := r.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case chartOut:
+			fatal(fmt.Errorf("-format chart is not supported in suite mode (use table, csv or json)"))
+		default:
+			r.WriteTable(os.Stdout)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

@@ -11,59 +11,19 @@ import (
 	"time"
 
 	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/benchfmt"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
 
 // The benchmark-regression harness behind `tintbench -exp bench` and
 // `make bench`. It runs every experiment at each requested -parallel
-// value on a fresh Machine, measures host wall-clock time (cmd-side
-// only: the simulator itself never reads the wall clock), and writes
-// a JSON report with cells/sec and engine ops/sec per experiment so
-// scheduler or runner regressions show up as a diff in
-// BENCH_engine.json.
-
-type perfRecord struct {
-	Experiment  string  `json:"experiment"`
-	Parallel    int     `json:"parallel"`
-	Cells       int     `json:"cells"`
-	EngineOps   uint64  `json:"engine_ops"`
-	WallSeconds float64 `json:"wall_seconds"`
-	CellsPerSec float64 `json:"cells_per_sec"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-}
-
-type perfReport struct {
-	Scale   float64 `json:"scale"`
-	Repeats int     `json:"repeats"`
-	// HostCPUs bounds the achievable speedup: -parallel buys wall
-	// clock only up to the host's core count (results are identical
-	// regardless).
-	HostCPUs int          `json:"host_cpus"`
-	Records  []perfRecord `json:"records"`
-	Overall  []perfRecord `json:"overall"`
-	// SpeedupCellsPerSec compares overall cells/sec at the last
-	// -bench-parallel value against the first.
-	SpeedupCellsPerSec float64 `json:"speedup_cells_per_sec"`
-	// Baseline carries the records of the report the output file
-	// previously held, so a regenerated BENCH_engine.json documents
-	// its own before/after comparison (one generation back).
-	Baseline []perfRecord `json:"baseline,omitempty"`
-	// SpeedupVsBaseline is suite ops/sec at the first -bench-parallel
-	// value divided by the same cell of Baseline (0 when no baseline).
-	// Only comparable when both runs used the same host; see HostCPUs.
-	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
-}
-
-// findRecord returns the record for (experiment, parallel), or nil.
-func findRecord(recs []perfRecord, experiment string, parallel int) *perfRecord {
-	for i := range recs {
-		if recs[i].Experiment == experiment && recs[i].Parallel == parallel {
-			return &recs[i]
-		}
-	}
-	return nil
-}
+// value on a fresh Machine, re-times each (experiment, parallel) cell
+// -bench-samples times (cmd-side wall clock only: the simulator
+// itself never reads it), and writes a format-2 benchfmt report with
+// the raw per-sample throughputs so tintstat can test old-vs-new
+// deltas for statistical significance instead of eyeballing two
+// aggregates.
 
 type perfExperiment struct {
 	name string
@@ -173,7 +133,45 @@ func benchExperiments(memBytes uint64, params workload.Params, repeats int) ([]p
 	}, nil
 }
 
-func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, params workload.Params, repeats int) error {
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// timeExperiment re-times one (experiment, parallel) cell `samples`
+// times and folds the raw measurements into a format-2 record. The
+// deterministic counters must agree across samples — a drift is a
+// determinism bug, not noise, and fails the harness.
+func timeExperiment(e perfExperiment, workers, samples int) (benchfmt.Record, error) {
+	rec := benchfmt.Record{Experiment: e.name, Parallel: workers}
+	for s := 0; s < samples; s++ {
+		start := time.Now()
+		cells, ops, err := e.run(workers)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return rec, fmt.Errorf("%s (parallel %d): %w", e.name, workers, err)
+		}
+		if s == 0 {
+			rec.Cells, rec.EngineOps = cells, ops
+		} else if cells != rec.Cells || ops != rec.EngineOps {
+			return rec, fmt.Errorf("%s (parallel %d): deterministic counters drifted between samples: cells %d -> %d, ops %d -> %d",
+				e.name, workers, rec.Cells, cells, rec.EngineOps, ops)
+		}
+		rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
+		rec.CellsPerSecSamples = append(rec.CellsPerSecSamples, float64(cells)/wall)
+		rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(ops)/wall)
+	}
+	rec.WallSeconds = mean(rec.WallSecondsSamples)
+	rec.CellsPerSec = mean(rec.CellsPerSecSamples)
+	rec.OpsPerSec = mean(rec.OpsPerSecSamples)
+	return rec, nil
+}
+
+func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64,
+	params workload.Params, repeats, samples int) error {
 	parVals, err := parseInts(parCSV)
 	if err != nil {
 		return fmt.Errorf("-bench-parallel: %w", err)
@@ -181,53 +179,59 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, param
 	if len(parVals) == 0 {
 		return fmt.Errorf("-bench-parallel: no values")
 	}
+	if samples < 1 {
+		return fmt.Errorf("-bench-samples: must be >= 1, have %d", samples)
+	}
 	exps, err := benchExperiments(memBytes, params, repeats)
 	if err != nil {
 		return err
 	}
 
-	rep := &perfReport{Scale: params.Scale, Repeats: repeats, HostCPUs: runtime.NumCPU()}
-	fmt.Fprintf(w, "engine benchmark harness (scale %g, repeats %d, host cpus %d)\n",
-		params.Scale, repeats, rep.HostCPUs)
+	rep := &benchfmt.Report{
+		Format:   benchfmt.FormatVersion,
+		Scale:    params.Scale,
+		Repeats:  repeats,
+		Samples:  samples,
+		HostCPUs: runtime.NumCPU(),
+	}
+	fmt.Fprintf(w, "engine benchmark harness (scale %g, repeats %d, samples %d, host cpus %d)\n",
+		params.Scale, repeats, samples, rep.HostCPUs)
 	fmt.Fprintf(w, "%-10s %9s %7s %12s %9s %11s %13s\n",
 		"experiment", "parallel", "cells", "engine ops", "wall (s)", "cells/sec", "ops/sec")
 	for _, workers := range parVals {
 		var totalCells int
 		var totalOps uint64
-		var totalWall float64
+		totalWall := make([]float64, samples)
 		for _, e := range exps {
-			start := time.Now()
-			cells, ops, err := e.run(workers)
-			wall := time.Since(start).Seconds()
+			rec, err := timeExperiment(e, workers, samples)
 			if err != nil {
-				return fmt.Errorf("%s (parallel %d): %w", e.name, workers, err)
-			}
-			rec := perfRecord{
-				Experiment:  e.name,
-				Parallel:    workers,
-				Cells:       cells,
-				EngineOps:   ops,
-				WallSeconds: wall,
-				CellsPerSec: float64(cells) / wall,
-				OpsPerSec:   float64(ops) / wall,
+				return err
 			}
 			rep.Records = append(rep.Records, rec)
-			totalCells += cells
-			totalOps += ops
-			totalWall += wall
+			totalCells += rec.Cells
+			totalOps += rec.EngineOps
+			for s, wall := range rec.WallSecondsSamples {
+				totalWall[s] += wall
+			}
 			fmt.Fprintf(w, "%-10s %9d %7d %12d %9.3f %11.2f %13.0f\n",
 				rec.Experiment, rec.Parallel, rec.Cells, rec.EngineOps,
 				rec.WallSeconds, rec.CellsPerSec, rec.OpsPerSec)
 		}
-		rep.Overall = append(rep.Overall, perfRecord{
-			Experiment:  "overall",
-			Parallel:    workers,
-			Cells:       totalCells,
-			EngineOps:   totalOps,
-			WallSeconds: totalWall,
-			CellsPerSec: float64(totalCells) / totalWall,
-			OpsPerSec:   float64(totalOps) / totalWall,
-		})
+		overall := benchfmt.Record{
+			Experiment: "overall",
+			Parallel:   workers,
+			Cells:      totalCells,
+			EngineOps:  totalOps,
+		}
+		for _, wall := range totalWall {
+			overall.WallSecondsSamples = append(overall.WallSecondsSamples, wall)
+			overall.CellsPerSecSamples = append(overall.CellsPerSecSamples, float64(totalCells)/wall)
+			overall.OpsPerSecSamples = append(overall.OpsPerSecSamples, float64(totalOps)/wall)
+		}
+		overall.WallSeconds = mean(overall.WallSecondsSamples)
+		overall.CellsPerSec = mean(overall.CellsPerSecSamples)
+		overall.OpsPerSec = mean(overall.OpsPerSecSamples)
+		rep.Overall = append(rep.Overall, overall)
 	}
 
 	first, last := rep.Overall[0], rep.Overall[len(rep.Overall)-1]
@@ -242,12 +246,13 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, param
 	// Fold the previous report (if the output file holds one) in as
 	// the baseline, and report the suite before/after at the first
 	// -bench-parallel value — the engine-throughput regression gate.
+	// (benchfmt reads v1 and v2 baselines alike.)
 	if data, err := os.ReadFile(outPath); err == nil {
-		var prev perfReport
+		var prev benchfmt.Report
 		if json.Unmarshal(data, &prev) == nil && len(prev.Records) > 0 {
 			rep.Baseline = prev.Records
-			before := findRecord(prev.Records, "suite", parVals[0])
-			after := findRecord(rep.Records, "suite", parVals[0])
+			before := benchfmt.FindRecord(prev.Records, "suite", parVals[0])
+			after := benchfmt.FindRecord(rep.Records, "suite", parVals[0])
 			if before != nil && after != nil && before.OpsPerSec > 0 {
 				rep.SpeedupVsBaseline = after.OpsPerSec / before.OpsPerSec
 				fmt.Fprintf(w, "vs previous %s: suite -parallel %d ops/sec %.0f -> %.0f (%.2fx)\n",
@@ -256,17 +261,7 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64, param
 		}
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := benchfmt.WriteFile(outPath, rep); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)

@@ -9,95 +9,68 @@ import (
 	"time"
 
 	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/benchfmt"
 	"github.com/tintmalloc/tintmalloc/internal/serve"
 )
 
 // The serve-scaling harness behind `tintbench -exp serve` and
 // `make serve-bench`. It runs the standard serve sweep — 16 clients
 // over 1, 2 and 4 engaged shards, then a client sweep at full
-// fan-out — times each cell host-side (the internal packages never
-// read the wall clock), and writes BENCH_serve.json with the
-// previous report folded in as the baseline, mirroring the
+// fan-out — re-times each cell -bench-samples times host-side (the
+// internal packages never read the wall clock), and writes a
+// format-2 benchfmt report with raw samples, mirroring the
 // BENCH_engine.json harness.
 
-type serveRecord struct {
-	Scenario string `json:"scenario"`
-	Nodes    int    `json:"nodes"`
-	Clients  int    `json:"clients"`
-	// Ops counts completed client operations (deterministic for a
-	// given spec); everything below it is timing-dependent.
-	Ops         uint64  `json:"ops"`
-	WallSeconds float64 `json:"wall_seconds"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	Retries     uint64  `json:"retries"` // ErrBusy rejections absorbed
-	Refills     uint64  `json:"refills"` // block shatters
-	Batches     uint64  `json:"batches"`
-	BatchedReqs uint64  `json:"batched_reqs"`
-	Degraded    uint64  `json:"degraded"` // ladder allocations
-}
-
-type serveReport struct {
-	// HostCPUs bounds achievable scaling: shard parallelism buys wall
-	// clock only up to the host's core count. On a single-core host
-	// ~1x across shard counts is expected and acceptable.
-	HostCPUs     int           `json:"host_cpus"`
-	OpsPerClient int           `json:"ops_per_client"`
-	Records      []serveRecord `json:"records"`
-	// ShardScaling is ops/sec at 4 engaged shards over 1 engaged
-	// shard, both with 16 clients — the tentpole's headline number.
-	ShardScaling float64 `json:"shard_scaling"`
-	// Baseline carries the previous report's records so a
-	// regenerated BENCH_serve.json documents its own before/after.
-	Baseline []serveRecord `json:"baseline,omitempty"`
-	// SpeedupVsBaseline compares the 4-node 16-client cell against
-	// the same cell of Baseline (0 when no baseline). Only comparable
-	// on the same host; see HostCPUs.
-	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
-}
-
-func findServeRecord(recs []serveRecord, scenario string) *serveRecord {
-	for i := range recs {
-		if recs[i].Scenario == scenario {
-			return &recs[i]
-		}
+func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient, samples int, cfg serve.Config) error {
+	if samples < 1 {
+		return fmt.Errorf("-bench-samples: must be >= 1, have %d", samples)
 	}
-	return nil
-}
-
-func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient int, cfg serve.Config) error {
-	rep := &serveReport{HostCPUs: runtime.NumCPU(), OpsPerClient: opsPerClient}
-	fmt.Fprintf(w, "serve scaling harness (%d ops/client, host cpus %d)\n",
-		opsPerClient, rep.HostCPUs)
+	rep := &benchfmt.ServeReport{
+		Format:       benchfmt.FormatVersion,
+		HostCPUs:     runtime.NumCPU(),
+		OpsPerClient: opsPerClient,
+		Samples:      samples,
+	}
+	fmt.Fprintf(w, "serve scaling harness (%d ops/client, %d samples, host cpus %d)\n",
+		opsPerClient, samples, rep.HostCPUs)
 	fmt.Fprintf(w, "%-20s %6s %8s %10s %9s %12s %9s %9s %9s\n",
 		"scenario", "nodes", "clients", "ops", "wall (s)", "ops/sec", "retries", "refills", "degraded")
 	for _, spec := range bench.ServeScalingSpecs(opsPerClient) {
-		start := time.Now()
-		cell, err := bench.RunServeCell(spec, memBytes, cfg)
-		wall := time.Since(start).Seconds()
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
+		rec := benchfmt.ServeRecord{
+			Scenario: spec.Name,
+			Nodes:    spec.Nodes,
+			Clients:  spec.Clients,
 		}
-		rec := serveRecord{
-			Scenario:    spec.Name,
-			Nodes:       spec.Nodes,
-			Clients:     spec.Clients,
-			Ops:         cell.Ops,
-			WallSeconds: wall,
-			OpsPerSec:   float64(cell.Ops) / wall,
-			Retries:     cell.Retries,
-			Refills:     cell.Stats.Refills,
-			Batches:     cell.Stats.Batches,
-			BatchedReqs: cell.Stats.BatchedReqs,
-			Degraded:    cell.Stats.DegradedAllocs(),
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			cell, err := bench.RunServeCell(spec, memBytes, cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			// Ops per completed run is deterministic for a spec; the
+			// contention counters are timing-dependent, so the last
+			// sample's values stand for the record (as one run did
+			// before sampling).
+			rec.Ops = cell.Ops
+			rec.Retries = cell.Retries
+			rec.Refills = cell.Stats.Refills
+			rec.Batches = cell.Stats.Batches
+			rec.BatchedReqs = cell.Stats.BatchedReqs
+			rec.Degraded = cell.Stats.DegradedAllocs()
+			rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
+			rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(cell.Ops)/wall)
 		}
+		rec.WallSeconds = mean(rec.WallSecondsSamples)
+		rec.OpsPerSec = mean(rec.OpsPerSecSamples)
 		rep.Records = append(rep.Records, rec)
 		fmt.Fprintf(w, "%-20s %6d %8d %10d %9.3f %12.0f %9d %9d %9d\n",
 			rec.Scenario, rec.Nodes, rec.Clients, rec.Ops, rec.WallSeconds,
 			rec.OpsPerSec, rec.Retries, rec.Refills, rec.Degraded)
 	}
 
-	one := findServeRecord(rep.Records, "1_node_16_clients")
-	four := findServeRecord(rep.Records, "4_nodes_16_clients")
+	one := benchfmt.FindServeRecord(rep.Records, "1_node_16_clients")
+	four := benchfmt.FindServeRecord(rep.Records, "4_nodes_16_clients")
 	if one != nil && four != nil && one.OpsPerSec > 0 {
 		rep.ShardScaling = four.OpsPerSec / one.OpsPerSec
 		fmt.Fprintf(w, "\nshard scaling: 16 clients on 1 -> 4 shards is %.2fx ops/sec\n", rep.ShardScaling)
@@ -109,10 +82,10 @@ func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient 
 	// Fold the previous report in as the baseline, as the engine
 	// harness does for BENCH_engine.json.
 	if data, err := os.ReadFile(outPath); err == nil {
-		var prev serveReport
+		var prev benchfmt.ServeReport
 		if json.Unmarshal(data, &prev) == nil && len(prev.Records) > 0 {
 			rep.Baseline = prev.Records
-			before := findServeRecord(prev.Records, "4_nodes_16_clients")
+			before := benchfmt.FindServeRecord(prev.Records, "4_nodes_16_clients")
 			if before != nil && four != nil && before.OpsPerSec > 0 {
 				rep.SpeedupVsBaseline = four.OpsPerSec / before.OpsPerSec
 				fmt.Fprintf(w, "vs previous %s: 4_nodes_16_clients ops/sec %.0f -> %.0f (%.2fx)\n",
@@ -121,17 +94,7 @@ func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient 
 		}
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := benchfmt.WriteFile(outPath, rep); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)

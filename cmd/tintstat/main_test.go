@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("%s drifted from golden file (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func td(name string) string { return filepath.Join("testdata", name) }
+
+func runStat(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The exit-status contract CI relies on, mirroring tintvet: 0 no
+// significant regression, 1 gate fired, 2 inputs unusable.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-change", []string{td("engine_old.json"), td("engine_ok.json")}, 0},
+		{"regression", []string{td("engine_old.json"), td("engine_regress.json")}, 1},
+		{"improvement", []string{td("engine_regress.json"), td("engine_old.json")}, 0},
+		{"same-file", []string{td("engine_old.json"), td("engine_old.json")}, 0},
+		{"exact-ops-clean", []string{"-exact-ops", td("engine_old.json"), td("engine_ok.json")}, 0},
+		{"exact-ops-drift", []string{"-exact-ops", td("engine_old.json"), td("engine_opsdrift.json")}, 1},
+		// v1 inputs have single samples: a big drop is reported but
+		// cannot be statistically significant, so it does not gate.
+		{"v1-delta-no-gate", []string{td("engine_v1_old.json"), td("engine_v1_slow.json")}, 0},
+		// A sky-high threshold turns a significant drop into a pass.
+		{"threshold", []string{"-threshold", "50", td("engine_old.json"), td("engine_regress.json")}, 0},
+		// alpha 0.000001: the drop stops being significant.
+		{"alpha", []string{"-alpha", "0.000001", td("engine_old.json"), td("engine_regress.json")}, 0},
+		{"missing-file", []string{td("engine_old.json"), td("no_such.json")}, 2},
+		{"kind-mismatch", []string{td("engine_old.json"), td("serve_old.json")}, 2},
+		{"serve-vs-serve", []string{td("serve_old.json"), td("serve_old.json")}, 0},
+		{"bad-format", []string{"-format", "yaml", td("engine_old.json"), td("engine_ok.json")}, 2},
+		{"bad-alpha", []string{"-alpha", "1.5", td("engine_old.json"), td("engine_ok.json")}, 2},
+		{"no-args", nil, 2},
+		{"one-arg", []string{td("engine_old.json")}, 2},
+		{"bad-flag", []string{"-bogus"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, errb := runStat(t, c.args...)
+			if code != c.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, c.want, errb)
+			}
+		})
+	}
+}
+
+func TestGoldenText(t *testing.T) {
+	code, out, errb := runStat(t, td("engine_old.json"), td("engine_regress.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	checkGolden(t, "delta_regress.txt.golden", out)
+	if !strings.Contains(out, "REGRESSION") {
+		t.Error("text output lacks a REGRESSION verdict")
+	}
+}
+
+func TestGoldenTextClean(t *testing.T) {
+	code, out, _ := runStat(t, td("engine_old.json"), td("engine_ok.json"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	checkGolden(t, "delta_clean.txt.golden", out)
+}
+
+func TestGoldenCSV(t *testing.T) {
+	code, out, _ := runStat(t, "-format", "csv", td("engine_old.json"), td("engine_regress.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	checkGolden(t, "delta_regress.csv.golden", out)
+}
+
+func TestGoldenJSON(t *testing.T) {
+	code, out, _ := runStat(t, "-format", "json", td("engine_old.json"), td("engine_regress.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	checkGolden(t, "delta_regress.json.golden", out)
+}
+
+// -o writes the table to a file; the gate still decides the exit.
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.txt")
+	code, out, _ := runStat(t, "-o", path, td("engine_old.json"), td("engine_regress.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if out != "" {
+		t.Errorf("stdout not empty with -o: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "REGRESSION") {
+		t.Error("file output lacks the delta table")
+	}
+}
+
+// Keys present in only one input are reported; under -exact-ops they
+// fail the gate.
+func TestMissingKeys(t *testing.T) {
+	trimmed := filepath.Join(t.TempDir(), "trimmed.json")
+	data, err := os.ReadFile(td("engine_ok.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(string(data), `"experiment": "fig10"`, `"experiment": "fig10_renamed"`, 1)
+	if err := os.WriteFile(trimmed, []byte(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runStat(t, td("engine_old.json"), trimmed)
+	if code != 0 {
+		t.Fatalf("missing key gated without -exact-ops: exit %d", code)
+	}
+	if !strings.Contains(out, "only in ") {
+		t.Errorf("missing keys not reported:\n%s", out)
+	}
+	code, _, _ = runStat(t, "-exact-ops", td("engine_old.json"), trimmed)
+	if code != 1 {
+		t.Errorf("-exact-ops ignored a missing key: exit %d", code)
+	}
+}

@@ -16,6 +16,13 @@ import "sync"
 // is fixed by index, so any workers value — including 1 — produces
 // byte-identical results; parallelism only spends more host cores.
 func gather[T any](n, workers int, job func(int) (T, error)) ([]T, error) {
+	return Gather(n, workers, job)
+}
+
+// Gather is the exported form of the runner, for packages that layer
+// their own experiment matrices over this one (the suite registry's
+// runner). Callers inherit the same contract.
+func Gather[T any](n, workers int, job func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	if workers > n {

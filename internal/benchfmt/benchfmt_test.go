@@ -1,0 +1,165 @@
+package benchfmt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A v1 engine report: no format field, aggregates only. The reader
+// must accept it and surface single-sample series.
+const v1Engine = `{
+  "scale": 0.1,
+  "repeats": 2,
+  "host_cpus": 1,
+  "records": [
+    {"experiment": "latency", "parallel": 1, "cells": 4, "engine_ops": 0,
+     "wall_seconds": 0.5, "cells_per_sec": 8, "ops_per_sec": 0},
+    {"experiment": "suite", "parallel": 1, "cells": 210, "engine_ops": 1000,
+     "wall_seconds": 2.0, "cells_per_sec": 105, "ops_per_sec": 500}
+  ],
+  "overall": [
+    {"experiment": "overall", "parallel": 1, "cells": 214, "engine_ops": 1000,
+     "wall_seconds": 2.5, "cells_per_sec": 85.6, "ops_per_sec": 400}
+  ]
+}`
+
+func TestDecodeV1Engine(t *testing.T) {
+	kind, series, err := Decode([]byte(v1Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEngine {
+		t.Fatalf("kind = %q, want engine", kind)
+	}
+	want := []Series{
+		{Key: "latency/parallel=1", Unit: "cells/sec", Samples: []float64{8}, Ops: 0, Cells: 4},
+		{Key: "suite/parallel=1", Unit: "ops/sec", Samples: []float64{500}, Ops: 1000, Cells: 210},
+		{Key: "overall/parallel=1", Unit: "ops/sec", Samples: []float64{400}, Ops: 1000, Cells: 214},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("series = %+v, want %+v", series, want)
+	}
+}
+
+const v2Engine = `{
+  "format": 2,
+  "scale": 0.1,
+  "repeats": 2,
+  "samples": 3,
+  "host_cpus": 1,
+  "records": [
+    {"experiment": "suite", "parallel": 1, "cells": 210, "engine_ops": 1000,
+     "wall_seconds": 2.0, "cells_per_sec": 105, "ops_per_sec": 500,
+     "wall_seconds_samples": [1.9, 2.0, 2.1],
+     "ops_per_sec_samples": [526, 500, 476],
+     "cells_per_sec_samples": [110.5, 105, 100]}
+  ],
+  "overall": []
+}`
+
+func TestDecodeV2Engine(t *testing.T) {
+	kind, series, err := Decode([]byte(v2Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEngine {
+		t.Fatalf("kind = %q, want engine", kind)
+	}
+	want := []Series{
+		{Key: "suite/parallel=1", Unit: "ops/sec", Samples: []float64{526, 500, 476}, Ops: 1000, Cells: 210},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("series = %+v, want %+v", series, want)
+	}
+}
+
+const v1Serve = `{
+  "host_cpus": 1,
+  "ops_per_client": 2000,
+  "records": [
+    {"scenario": "4_nodes_16_clients", "nodes": 4, "clients": 16, "ops": 32000,
+     "wall_seconds": 0.8, "ops_per_sec": 40000, "retries": 3, "refills": 10,
+     "batches": 5, "batched_reqs": 40, "degraded": 7}
+  ],
+  "shard_scaling": 1.04
+}`
+
+func TestDecodeV1Serve(t *testing.T) {
+	kind, series, err := Decode([]byte(v1Serve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindServe {
+		t.Fatalf("kind = %q, want serve", kind)
+	}
+	want := []Series{
+		{Key: "4_nodes_16_clients", Unit: "ops/sec", Samples: []float64{40000}, Ops: 32000},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("series = %+v, want %+v", series, want)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":       `nope`,
+		"no records":     `{"records": []}`,
+		"unknown record": `{"records": [{"foo": 1}]}`,
+	} {
+		if _, _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+}
+
+// Round-trip: a v2 report written by WriteFile must decode to the
+// same series.
+func TestWriteReadRoundTrip(t *testing.T) {
+	rep := &Report{
+		Format: FormatVersion, Scale: 0.1, Repeats: 1, Samples: 2, HostCPUs: 4,
+		Records: []Record{{
+			Experiment: "suite", Parallel: 2, Cells: 10, EngineOps: 999,
+			WallSeconds: 1.5, CellsPerSec: 6.67, OpsPerSec: 666,
+			WallSecondsSamples: []float64{1.4, 1.6},
+			OpsPerSecSamples:   []float64{713, 624},
+			CellsPerSecSamples: []float64{7.1, 6.2},
+		}},
+	}
+	path := t.TempDir() + "/report.json"
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	kind, series, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEngine {
+		t.Fatalf("kind = %q, want engine", kind)
+	}
+	want := []Series{
+		{Key: "suite/parallel=2", Unit: "ops/sec", Samples: []float64{713, 624}, Ops: 999, Cells: 10},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("series = %+v, want %+v", series, want)
+	}
+}
+
+func TestFindRecord(t *testing.T) {
+	recs := []Record{
+		{Experiment: "a", Parallel: 1},
+		{Experiment: "a", Parallel: 8},
+	}
+	if r := FindRecord(recs, "a", 8); r == nil || r.Parallel != 8 {
+		t.Errorf("FindRecord(a, 8) = %+v", r)
+	}
+	if r := FindRecord(recs, "b", 1); r != nil {
+		t.Errorf("FindRecord(b, 1) = %+v, want nil", r)
+	}
+	srecs := []ServeRecord{{Scenario: "x"}}
+	if r := FindServeRecord(srecs, "x"); r == nil {
+		t.Error("FindServeRecord(x) = nil")
+	}
+	if r := FindServeRecord(srecs, "y"); r != nil {
+		t.Errorf("FindServeRecord(y) = %+v, want nil", r)
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import "math"
+
+// Statistical machinery behind the tintstat regression gate: Welch's
+// unequal-variance t-test and Student-t confidence intervals over the
+// raw per-repeat samples the BENCH_*.json format-2 files carry. All
+// functions follow the package's NaN-poison convention: inputs that
+// cannot support the computation (too few samples, NaN-poisoned
+// measurements) yield NaN rather than a plausible-looking zero.
+
+// TTest is the outcome of a two-sample Welch's t-test.
+type TTest struct {
+	// T is the test statistic; sign follows mean(y) - mean(x).
+	T float64
+	// DF is the Welch–Satterthwaite effective degrees of freedom.
+	DF float64
+	// P is the two-sided p-value. NaN when the test is undefined
+	// (either sample has fewer than two values, or any input is NaN).
+	P float64
+}
+
+// Welch performs Welch's unequal-variance t-test between samples x
+// and y. Degenerate cases:
+//
+//   - len < 2 on either side, or any NaN input: P is NaN (no test).
+//   - both samples have zero variance and equal means: T=0, P=1.
+//   - both samples have zero variance and different means: the
+//     distributions are point masses at different values, so T=±Inf
+//     and P=0 (exactly distinguishable).
+//   - one side has zero variance: the usual formula applies (the
+//     pooled standard error is carried by the other sample).
+func Welch(x, y []float64) TTest {
+	nan := math.NaN()
+	if len(x) < 2 || len(y) < 2 || hasNaN(x) || hasNaN(y) {
+		return TTest{T: nan, DF: nan, P: nan}
+	}
+	sx := Summarize(x)
+	sy := Summarize(y)
+	nx, ny := float64(sx.N), float64(sy.N)
+	vx := sx.StdDev * sx.StdDev
+	vy := sy.StdDev * sy.StdDev
+	se2 := vx/nx + vy/ny
+	if se2 == 0 {
+		if sy.Mean == sx.Mean {
+			return TTest{T: 0, DF: nx + ny - 2, P: 1}
+		}
+		return TTest{T: math.Inf(sign(sy.Mean - sx.Mean)), DF: nx + ny - 2, P: 0}
+	}
+	t := (sy.Mean - sx.Mean) / math.Sqrt(se2)
+	// Welch–Satterthwaite.
+	df := se2 * se2 / (vx*vx/(nx*nx*(nx-1)) + vy*vy/(ny*ny*(ny-1)))
+	return TTest{T: t, DF: df, P: 2 * (1 - TCDF(math.Abs(t), df))}
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func hasNaN(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// CI95 returns the two-sided 95% Student-t confidence interval for
+// the mean of the sample s summarizes. With fewer than two samples
+// the interval is undefined and both bounds are NaN; with zero
+// variance it collapses to [mean, mean].
+func (s Summary) CI95() (lo, hi float64) {
+	if s.N < 2 || math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) {
+		return math.NaN(), math.NaN()
+	}
+	if s.StdDev == 0 {
+		return s.Mean, s.Mean
+	}
+	h := TCrit95(float64(s.N-1)) * s.StdDev / math.Sqrt(float64(s.N))
+	return s.Mean - h, s.Mean + h
+}
+
+// TCDF is the cumulative distribution function of Student's t
+// distribution with df degrees of freedom, evaluated at t. It is
+// computed through the regularized incomplete beta function.
+func TCDF(t, df float64) float64 {
+	if math.IsNaN(t) || math.IsNaN(df) || df <= 0 {
+		return math.NaN()
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	// P(T <= t) = 1 - I_x(df/2, 1/2)/2 for t >= 0, x = df/(df+t^2).
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t >= 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TCrit95 returns the critical value c with P(|T| <= c) = 0.95 for
+// Student's t with df degrees of freedom (the half-width multiplier
+// of a 95% confidence interval). Found by bisection on TCDF.
+func TCrit95(df float64) float64 {
+	if df <= 0 || math.IsNaN(df) {
+		return math.NaN()
+	}
+	const target = 0.975 // two-sided 95%
+	lo, hi := 0.0, 1024.0
+	for i := 0; i < 200 && hi-lo > 1e-10*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion (Numerical Recipes
+// betacf), accurate to ~1e-14 over the parameter ranges the t
+// distribution uses.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestTCDFKnownValues pins the t CDF against published table values.
+func TestTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want, tol float64
+	}{
+		{0, 1, 0.5, 1e-12},
+		{0, 17, 0.5, 1e-12},
+		// t_{0.95, 10} = 1.812461.
+		{1.812461, 10, 0.95, 1e-5},
+		// t_{0.975, 4} = 2.776445.
+		{2.776445, 4, 0.975, 1e-5},
+		// df=2 has the closed form 1/2 + t / (2*sqrt(t^2+2)).
+		{math.Sqrt(3), 2, 0.5 + math.Sqrt(3)/(2*math.Sqrt(5)), 1e-12},
+		// Large df approaches the normal distribution.
+		{1.959964, 100000, 0.975, 1e-4},
+		// Symmetry.
+		{-1.812461, 10, 0.05, 1e-5},
+	}
+	for _, c := range cases {
+		approx(t, "TCDF", TCDF(c.t, c.df), c.want, c.tol)
+	}
+	if !math.IsNaN(TCDF(1, 0)) || !math.IsNaN(TCDF(math.NaN(), 5)) {
+		t.Error("TCDF must NaN-poison on df<=0 or NaN input")
+	}
+	if got := TCDF(math.Inf(1), 5); got != 1 {
+		t.Errorf("TCDF(+Inf) = %v, want 1", got)
+	}
+	if got := TCDF(math.Inf(-1), 5); got != 0 {
+		t.Errorf("TCDF(-Inf) = %v, want 0", got)
+	}
+}
+
+// TestTCrit95KnownValues pins the CI half-width multiplier against
+// the standard t table.
+func TestTCrit95KnownValues(t *testing.T) {
+	cases := []struct{ df, want float64 }{
+		{1, 12.7062},
+		{2, 4.30265},
+		{4, 2.776445},
+		{10, 2.228139},
+		{30, 2.042272},
+		{1000, 1.962339},
+	}
+	for _, c := range cases {
+		approx(t, "TCrit95", TCrit95(c.df), c.want, 1e-4)
+	}
+	if !math.IsNaN(TCrit95(0)) {
+		t.Error("TCrit95(0) must be NaN")
+	}
+}
+
+// TestWelchHandComputed checks the test statistic, effective df and
+// p-value against hand-computed fixtures.
+func TestWelchHandComputed(t *testing.T) {
+	// Shifted identical spreads: se = 1, t = 1, Welch df = 8,
+	// two-sided p = 0.34659 (t table, df 8).
+	r := Welch([]float64{1, 2, 3, 4, 5}, []float64{2, 3, 4, 5, 6})
+	approx(t, "T", r.T, 1, 1e-12)
+	approx(t, "DF", r.DF, 8, 1e-9)
+	approx(t, "P", r.P, 0.34659, 1e-4)
+
+	// Unequal variances and sizes; reference values computed
+	// independently (t and df by hand from the Welch formulas,
+	// p by numerical integration of the t density).
+	a1 := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	a2 := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.6, 24.2, 20.9, 26.2, 35.1}
+	r = Welch(a1, a2)
+	approx(t, "T", r.T, 3.0316439, 1e-6)
+	approx(t, "DF", r.DF, 30.7244373, 1e-6)
+	approx(t, "P", r.P, 0.0049062, 1e-6)
+
+	// One-sided zero variance: se^2 = 1/3 carried entirely by y,
+	// df = 2, p = 2*(1 - (1/2 + t/(2*sqrt(t^2+2)))) with t = sqrt(3).
+	r = Welch([]float64{1, 1, 1}, []float64{1, 2, 3})
+	approx(t, "T", r.T, math.Sqrt(3), 1e-12)
+	approx(t, "DF", r.DF, 2, 1e-9)
+	approx(t, "P", r.P, 0.225403, 1e-5)
+}
+
+// TestWelchDegenerate covers the cases the gate must not mis-score:
+// tiny samples, flat samples, and NaN-poisoned inputs (the PR 4/5
+// Normalize convention).
+func TestWelchDegenerate(t *testing.T) {
+	// n = 1 on either side: no test.
+	for _, pair := range [][2][]float64{
+		{{1}, {2, 3}},
+		{{1, 2}, {3}},
+		{{}, {1, 2}},
+	} {
+		r := Welch(pair[0], pair[1])
+		if !math.IsNaN(r.P) || !math.IsNaN(r.T) {
+			t.Errorf("Welch(%v, %v) = %+v, want NaN test", pair[0], pair[1], r)
+		}
+	}
+	// NaN-poisoned input: no test.
+	r := Welch([]float64{1, math.NaN()}, []float64{2, 3})
+	if !math.IsNaN(r.P) {
+		t.Errorf("NaN input must poison the p-value, got %v", r.P)
+	}
+	// Zero variance both sides, equal means: indistinguishable.
+	r = Welch([]float64{2, 2, 2}, []float64{2, 2})
+	if r.T != 0 || r.P != 1 {
+		t.Errorf("flat equal samples: got T=%v P=%v, want 0, 1", r.T, r.P)
+	}
+	// Zero variance both sides, different means: point masses at
+	// different values are exactly distinguishable.
+	r = Welch([]float64{1, 1}, []float64{2, 2})
+	if !math.IsInf(r.T, 1) || r.P != 0 {
+		t.Errorf("flat shifted samples: got T=%v P=%v, want +Inf, 0", r.T, r.P)
+	}
+	r = Welch([]float64{2, 2}, []float64{1, 1})
+	if !math.IsInf(r.T, -1) || r.P != 0 {
+		t.Errorf("flat shifted samples: got T=%v P=%v, want -Inf, 0", r.T, r.P)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=5, sd=sqrt(2.5): half-width = 2.776445*sqrt(0.5) = 1.963243.
+	lo, hi := Summarize([]float64{1, 2, 3, 4, 5}).CI95()
+	approx(t, "lo", lo, 3-1.963243, 1e-4)
+	approx(t, "hi", hi, 3+1.963243, 1e-4)
+
+	// n=1: undefined.
+	lo, hi = Summarize([]float64{7}).CI95()
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("n=1 CI = [%v, %v], want NaN bounds", lo, hi)
+	}
+	// Zero variance: collapses to the mean.
+	lo, hi = Summarize([]float64{4, 4, 4}).CI95()
+	if lo != 4 || hi != 4 {
+		t.Errorf("flat CI = [%v, %v], want [4, 4]", lo, hi)
+	}
+	// NaN-poisoned sample: poisoned interval.
+	lo, hi = Summarize([]float64{1, math.NaN()}).CI95()
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("poisoned CI = [%v, %v], want NaN bounds", lo, hi)
+	}
+}

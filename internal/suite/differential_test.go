@@ -1,0 +1,220 @@
+package suite
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/bench"
+	"github.com/tintmalloc/tintmalloc/internal/policy"
+	"github.com/tintmalloc/tintmalloc/internal/workload"
+)
+
+// The differential gate behind the registry: a registry-driven run
+// must be byte-identical to the hard-coded experiment it re-expresses
+// — same RunSpec derivation, same RunRepeated seeds, same cells — at
+// any -parallel value.
+
+func defaultBase() workload.Params { return workload.Params{Seed: 1, Scale: 1.0} }
+
+func testMachine(t *testing.T) *bench.Machine {
+	t.Helper()
+	mach, err := bench.NewMachine(bench.MachineOptions{MemBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+// stripSpec zeroes the non-comparable Workload.Build closure so cells
+// can be DeepEqual'd (two builds of the same workload produce
+// distinct func values).
+func stripSpec(c bench.Cell) bench.Cell {
+	c.Spec.Workload.Build = nil
+	return c
+}
+
+var diffParams = workload.Params{Seed: 1, Scale: 0.05}
+
+func TestRegistryMatchesFig10(t *testing.T) {
+	mach := testMachine(t)
+	reg := Default()
+	s, err := reg.ByName("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := bench.ConfigByName(mach.Topo, "16_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bench.RunFig10(mach, cfg, diffParams, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Run(mach, s, diffParams, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cells) != len(want.Policies) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(got.Cells), len(want.Policies))
+		}
+		for i, p := range want.Policies {
+			cell, ok := got.Find("synthetic", cfg.Name, p)
+			if !ok {
+				t.Fatalf("workers=%d: missing cell for %s", workers, p)
+			}
+			if !reflect.DeepEqual(stripSpec(cell.Cell), stripSpec(want.Cells[i])) {
+				t.Errorf("workers=%d: policy %s diverged from RunFig10:\n got %+v\nwant %+v",
+					workers, p, stripSpec(cell.Cell), stripSpec(want.Cells[i]))
+			}
+		}
+	}
+}
+
+func TestRegistryMatchesSuiteMatrix(t *testing.T) {
+	mach := testMachine(t)
+	// A trimmed copy of the "paper" grid: two workloads, two configs,
+	// full seven-policy set, so the "other best" fold is exercised.
+	s := Suite{
+		Name:     "paper-mini",
+		Configs:  []string{"4_threads_1_nodes", "4_threads_4_nodes"},
+		Policies: []string{"buddy", "BPM", "MEM+LLC", "MEM", "LLC", "MEM+LLC(part)", "LLC+MEM(part)"},
+		Workloads: []WorkloadSpec{
+			{Driver: "lbm"},
+			{Driver: "bodytrack"},
+		},
+	}
+	loads := []workload.Workload{workload.LBM(), workload.Bodytrack()}
+	var cfgs []bench.Config
+	for _, n := range s.Configs {
+		c, err := bench.ConfigByName(mach.Topo, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, c)
+	}
+	want, err := bench.RunSuiteParallel(mach, loads, cfgs, diffParams, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Run(mach, s, diffParams, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ops != want.Ops {
+			t.Errorf("workers=%d: total ops %d, want %d", workers, got.Ops, want.Ops)
+		}
+		for _, row := range want.Rows {
+			check := func(pol policy.Policy, wc bench.Cell) {
+				gc, ok := got.Find(row.Workload, row.Config, pol)
+				if !ok {
+					t.Fatalf("workers=%d: missing cell %s/%s/%s", workers, row.Workload, row.Config, pol)
+				}
+				if !reflect.DeepEqual(stripSpec(gc.Cell), stripSpec(wc)) {
+					t.Errorf("workers=%d: cell %s/%s/%s diverged from RunSuiteParallel",
+						workers, row.Workload, row.Config, pol)
+				}
+			}
+			check(policy.Buddy, row.Buddy)
+			check(policy.BPM, row.BPM)
+			check(policy.MEMLLC, row.MEMLLC)
+			check(row.OtherPolicy, row.Other)
+
+			// The "other best" winner is recomputable from registry
+			// cells with the same fold.
+			bestPol, best := policy.Policy(0), bench.Cell{}
+			for i, p := range bench.BestOtherPolicies() {
+				gc, ok := got.Find(row.Workload, row.Config, p)
+				if !ok {
+					t.Fatalf("missing other-best candidate %s", p)
+				}
+				if i == 0 || gc.Cell.Runtime.Mean < best.Runtime.Mean {
+					bestPol, best = p, gc.Cell
+				}
+			}
+			if bestPol != row.OtherPolicy {
+				t.Errorf("workers=%d: other-best fold picked %s, hard-coded picked %s",
+					workers, bestPol, row.OtherPolicy)
+			}
+			_ = best
+		}
+	}
+}
+
+func TestRegistryMatchesPerThread(t *testing.T) {
+	mach := testMachine(t)
+	reg := Default()
+	s, err := reg.ByName("perthread-lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := bench.ConfigByName(mach.Topo, "16_threads_4_nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := []policy.Policy{policy.Buddy, policy.BPM, policy.MEMLLC}
+	want, err := bench.RunPerThread(mach, workload.LBM(), cfg, pols, diffParams, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perthread-lbm pins repeats = 1, where RunRepeated(spec, 1).Last
+	// equals Run(spec): the registry cells carry the per-thread
+	// vectors the hard-coded experiment reports.
+	for _, workers := range []int{1, 4} {
+		got, err := Run(mach, s, diffParams, 99 /* overridden by entry */, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Repeats != 1 {
+			t.Fatalf("entry repeats override lost: %d", got.Repeats)
+		}
+		for i, p := range pols {
+			cell, ok := got.Find("lbm", cfg.Name, p)
+			if !ok {
+				t.Fatalf("missing cell for %s", p)
+			}
+			if !reflect.DeepEqual(cell.Cell.Last.ThreadRuntime, want.Runtime[i]) {
+				t.Errorf("workers=%d: %s per-thread runtime diverged:\n got %v\nwant %v",
+					workers, p, cell.Cell.Last.ThreadRuntime, want.Runtime[i])
+			}
+			if !reflect.DeepEqual(cell.Cell.Last.ThreadIdle, want.Idle[i]) {
+				t.Errorf("workers=%d: %s per-thread idle diverged", workers, p)
+			}
+		}
+	}
+}
+
+// The suite runner itself must be worker-count-neutral even for
+// registry entries with no hard-coded counterpart (driver instances
+// with custom knobs).
+func TestSuiteRunParallelNeutral(t *testing.T) {
+	mach := testMachine(t)
+	s := Suite{
+		Name:     "knobbed",
+		Configs:  []string{"4_threads_1_nodes"},
+		Policies: []string{"buddy", "MEM+LLC"},
+		Workloads: []WorkloadSpec{
+			{Name: "g", Driver: "garbage", Ops: 3000},
+			{Name: "j", Driver: "json", Ops: 6, Depth: 4},
+		},
+	}
+	seq, err := Run(mach, s, diffParams, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(mach, s, diffParams, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(seq.Cells))
+	}
+	for i := range seq.Cells {
+		a, b := seq.Cells[i], par.Cells[i]
+		a.Cell, b.Cell = stripSpec(a.Cell), stripSpec(b.Cell)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("cell %d diverged between workers=1 and workers=8", i)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package suite
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A minimal TOML-subset decoder for the registry format. The
+// container bakes in no third-party modules, so the subset is defined
+// (and round-trip-tested) here:
+//
+//   - comments (#) and blank lines
+//   - [[suite]] and [[suite.workload]] array-of-tables headers
+//   - key = value with string ("..." with Go escapes), integer,
+//     float, boolean, and string-array ["a", "b"] values
+//
+// Anything outside the subset — unknown keys included — is a hard
+// error: a typoed knob must fail the load, not silently run the
+// default shape. Errors before validation are positional
+// ("suite: line N: ..."); validation errors are addressed
+// ("suite: <name>: <field>: ...").
+
+type tomlParser struct {
+	reg    *Registry
+	cur    *Suite        // open [[suite]], nil at top level
+	curWL  *WorkloadSpec // open [[suite.workload]], nil otherwise
+	lineNo int
+}
+
+func parseTOML(data []byte) (*Registry, error) {
+	p := &tomlParser{reg: &Registry{}}
+	for _, raw := range strings.Split(string(data), "\n") {
+		p.lineNo++
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, err
+		}
+	}
+	return p.reg, nil
+}
+
+func (p *tomlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("suite: line %d: %s", p.lineNo, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes a trailing # comment, honoring quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (p *tomlParser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "[["):
+		return p.header(line)
+	case strings.HasPrefix(line, "["):
+		return p.errf("plain tables are not supported; use [[suite]] / [[suite.workload]]")
+	}
+	eq := -1
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '=':
+			if !inStr && eq < 0 {
+				eq = i
+			}
+		}
+	}
+	if eq < 0 {
+		return p.errf("expected key = value, have %q", line)
+	}
+	key := strings.TrimSpace(line[:eq])
+	val := strings.TrimSpace(line[eq+1:])
+	if key == "" {
+		return p.errf("empty key")
+	}
+	if val == "" {
+		return p.errf("key %s: empty value", key)
+	}
+	return p.assign(key, val)
+}
+
+func (p *tomlParser) header(line string) error {
+	if !strings.HasSuffix(line, "]]") {
+		return p.errf("unterminated table header %q", line)
+	}
+	name := strings.TrimSpace(line[2 : len(line)-2])
+	switch name {
+	case "suite":
+		p.reg.Suites = append(p.reg.Suites, Suite{})
+		p.cur = &p.reg.Suites[len(p.reg.Suites)-1]
+		p.curWL = nil
+		return nil
+	case "suite.workload":
+		if p.cur == nil {
+			return p.errf("[[suite.workload]] outside a [[suite]]")
+		}
+		p.cur.Workloads = append(p.cur.Workloads, WorkloadSpec{})
+		p.curWL = &p.cur.Workloads[len(p.cur.Workloads)-1]
+		return nil
+	default:
+		return p.errf("unknown table %q (want suite or suite.workload)", name)
+	}
+}
+
+func (p *tomlParser) assign(key, val string) error {
+	if p.curWL != nil {
+		return p.assignWorkload(key, val)
+	}
+	if p.cur == nil {
+		return p.errf("key %s outside any [[suite]]", key)
+	}
+	s := p.cur
+	switch key {
+	case "name":
+		return p.str(key, val, &s.Name)
+	case "description":
+		return p.str(key, val, &s.Description)
+	case "configs":
+		return p.strArray(key, val, &s.Configs)
+	case "policies":
+		return p.strArray(key, val, &s.Policies)
+	case "repeats":
+		return p.intVal(key, val, &s.Repeats)
+	case "scale":
+		return p.floatVal(key, val, &s.Scale)
+	case "seed":
+		return p.int64Val(key, val, &s.Seed)
+	default:
+		return p.errf("unknown suite key %q", key)
+	}
+}
+
+func (p *tomlParser) assignWorkload(key, val string) error {
+	w := p.curWL
+	switch key {
+	case "name":
+		return p.str(key, val, &w.Name)
+	case "driver":
+		return p.str(key, val, &w.Driver)
+	case "footprint":
+		return p.uintVal(key, val, &w.Footprint)
+	case "block":
+		return p.uintVal(key, val, &w.Block)
+	case "ops":
+		return p.uintVal(key, val, &w.Ops)
+	case "ticks":
+		return p.intVal(key, val, &w.Ticks)
+	case "depth":
+		return p.intVal(key, val, &w.Depth)
+	case "read_pct":
+		return p.intVal(key, val, &w.ReadPct)
+	default:
+		return p.errf("unknown workload key %q", key)
+	}
+}
+
+func (p *tomlParser) str(key, val string, out *string) error {
+	if len(val) < 2 || val[0] != '"' {
+		return p.errf("key %s: expected a quoted string, have %q", key, val)
+	}
+	s, err := strconv.Unquote(val)
+	if err != nil {
+		return p.errf("key %s: bad string %s: %v", key, val, err)
+	}
+	*out = s
+	return nil
+}
+
+func (p *tomlParser) intVal(key, val string, out *int) error {
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || v != int64(int(v)) {
+		return p.errf("key %s: bad integer %q", key, val)
+	}
+	*out = int(v)
+	return nil
+}
+
+func (p *tomlParser) int64Val(key, val string, out *int64) error {
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return p.errf("key %s: bad integer %q", key, val)
+	}
+	*out = v
+	return nil
+}
+
+func (p *tomlParser) uintVal(key, val string, out *uint64) error {
+	v, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return p.errf("key %s: bad unsigned integer %q", key, val)
+	}
+	*out = v
+	return nil
+}
+
+func (p *tomlParser) floatVal(key, val string, out *float64) error {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return p.errf("key %s: bad finite number %q", key, val)
+	}
+	*out = v
+	return nil
+}
+
+// strArray parses ["a", "b"]; an empty array stays nil so load →
+// marshal → load round-trips to DeepEqual.
+func (p *tomlParser) strArray(key, val string, out *[]string) error {
+	if len(val) < 2 || val[0] != '[' || val[len(val)-1] != ']' {
+		return p.errf("key %s: expected a [\"...\"] array, have %q", key, val)
+	}
+	inner := strings.TrimSpace(val[1 : len(val)-1])
+	if inner == "" {
+		*out = nil
+		return nil
+	}
+	var items []string
+	for _, part := range splitTopLevel(inner) {
+		part = strings.TrimSpace(part)
+		var s string
+		if err := p.str(key, part, &s); err != nil {
+			return err
+		}
+		items = append(items, s)
+	}
+	*out = items
+	return nil
+}
+
+// splitTopLevel splits on commas outside quoted strings.
+func splitTopLevel(s string) []string {
+	var parts []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case ',':
+			if !inStr {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

@@ -1,0 +1,118 @@
+package workload
+
+import "fmt"
+
+// DriverSpec is the knob set a suite-registry entry can turn on a
+// parameterized workload driver (see internal/suite). The zero value
+// of every field means "driver default"; drivers reject knobs they do
+// not interpret so a typo in a registry file fails loudly instead of
+// silently running the default shape.
+//
+// Knob meanings by driver:
+//
+//	garbage    : Footprint (live-set bytes/thread), Block (allocation
+//	             size), Ops (churn allocations/thread)
+//	gc_latency : Footprint (ballast bytes/thread), Ops (ring writes
+//	             per tick/thread), Ticks (scan periods)
+//	http       : Footprint (shared corpus bytes), Ops (requests per
+//	             worker), Depth (corpus touches/request), ReadPct
+//	             (percent of requests that only read)
+//	json       : Footprint (input document bytes/thread), Ops
+//	             (documents/thread), Depth (parse-tree depth)
+//
+// The seven paper workloads take no knobs: their shapes are pinned by
+// the evaluation and byte-identical to their Registry() forms.
+type DriverSpec struct {
+	Footprint uint64 // working-set bytes (meaning is per-driver)
+	Block     uint64 // allocation block size in bytes
+	Ops       uint64 // operation count (meaning is per-driver)
+	Ticks     int    // scan periods (gc_latency)
+	Depth     int    // touches or tree depth per operation
+	ReadPct   int    // percent of operations that only read (0-100)
+}
+
+// knobError reports a knob set on a driver that does not interpret it.
+func knobError(driver, knob string) error {
+	return fmt.Errorf("workload: driver %s does not take %s", driver, knob)
+}
+
+// checkKnobs rejects any knob outside the allowed set. allowed maps
+// knob name -> whether the spec sets it.
+func (s DriverSpec) checkKnobs(driver string, allowed ...string) error {
+	set := map[string]bool{
+		"footprint": s.Footprint != 0,
+		"block":     s.Block != 0,
+		"ops":       s.Ops != 0,
+		"ticks":     s.Ticks != 0,
+		"depth":     s.Depth != 0,
+		"read_pct":  s.ReadPct != 0,
+	}
+	ok := map[string]bool{}
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	// Deterministic report order for tests and error stability.
+	for _, knob := range []string{"footprint", "block", "ops", "ticks", "depth", "read_pct"} {
+		if set[knob] && !ok[knob] {
+			return knobError(driver, knob)
+		}
+	}
+	if s.ReadPct < 0 || s.ReadPct > 100 {
+		return fmt.Errorf("workload: driver %s: read_pct %d out of range 0-100", driver, s.ReadPct)
+	}
+	return nil
+}
+
+// Drivers lists every driver name FromSpec accepts: the seven paper
+// workloads plus the four parameterized shapes ported from
+// golang.org/x/benchmarks (garbage, gc_latency, http, json).
+func Drivers() []string {
+	names := make([]string, 0, len(Registry()))
+	for _, w := range Registry() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// FromSpec builds a workload instance named name from a driver and
+// its knobs. Builtin paper workloads accept no knobs; the four
+// parameterized drivers map the spec onto their shape constants.
+func FromSpec(name, driver string, s DriverSpec) (Workload, error) {
+	if name == "" {
+		name = driver
+	}
+	var w Workload
+	switch driver {
+	case "garbage":
+		if err := s.checkKnobs(driver, "footprint", "block", "ops"); err != nil {
+			return Workload{}, err
+		}
+		w = Garbage(GarbageSpec{Footprint: s.Footprint, Block: s.Block, Allocs: s.Ops})
+	case "gc_latency":
+		if err := s.checkKnobs(driver, "footprint", "ops", "ticks"); err != nil {
+			return Workload{}, err
+		}
+		w = GCLatency(GCLatencySpec{Ballast: s.Footprint, OpsPerTick: s.Ops, Ticks: s.Ticks})
+	case "http":
+		if err := s.checkKnobs(driver, "footprint", "ops", "depth", "read_pct"); err != nil {
+			return Workload{}, err
+		}
+		w = HTTP(HTTPSpec{Corpus: s.Footprint, Requests: s.Ops, Depth: s.Depth, ReadPct: s.ReadPct})
+	case "json":
+		if err := s.checkKnobs(driver, "footprint", "ops", "depth"); err != nil {
+			return Workload{}, err
+		}
+		w = JSON(JSONSpec{Input: s.Footprint, Docs: s.Ops, Depth: s.Depth})
+	default:
+		builtin, err := ByName(driver)
+		if err != nil {
+			return Workload{}, err
+		}
+		if err := s.checkKnobs(driver); err != nil {
+			return Workload{}, err
+		}
+		w = builtin
+	}
+	w.Name = name
+	return w, nil
+}

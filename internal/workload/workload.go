@@ -66,7 +66,10 @@ type Workload struct {
 	Build       BuildFunc
 }
 
-// Registry returns all workloads in the paper's presentation order.
+// Registry returns all workloads: the paper's seven in presentation
+// order, then the four driver shapes ported from golang.org/x/
+// benchmarks (at their default knob settings; see FromSpec for
+// parameterized instances).
 func Registry() []Workload {
 	return []Workload{
 		Synthetic(),
@@ -76,12 +79,22 @@ func Registry() []Workload {
 		Bodytrack(),
 		Freqmine(),
 		Blackscholes(),
+		Garbage(GarbageSpec{}),
+		GCLatency(GCLatencySpec{}),
+		HTTP(HTTPSpec{}),
+		JSON(JSONSpec{}),
 	}
 }
 
 // StandardSuite returns the six SPEC/Parsec proxies (Figs. 11-14).
 func StandardSuite() []Workload {
 	return []Workload{LBM(), Art(), Equake(), Bodytrack(), Freqmine(), Blackscholes()}
+}
+
+// PortedSuite returns the four golang.org/x/benchmarks shapes at
+// their default knobs.
+func PortedSuite() []Workload {
+	return []Workload{Garbage(GarbageSpec{}), GCLatency(GCLatencySpec{}), HTTP(HTTPSpec{}), JSON(JSONSpec{})}
 }
 
 // ByName looks a workload up by its registry name.

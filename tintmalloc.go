@@ -405,7 +405,8 @@ func (s *System) BuildWorkload(name string, params WorkloadParams) ([]Phase, err
 	return w.Build(s.threads, params)
 }
 
-// WorkloadNames lists the built-in paper workloads.
+// WorkloadNames lists the built-in workloads: the paper's seven plus
+// the four shapes ported from golang.org/x/benchmarks.
 func WorkloadNames() []string {
 	var out []string
 	for _, w := range workload.Registry() {

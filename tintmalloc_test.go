@@ -104,8 +104,14 @@ func TestBuildWorkloadAndRun(t *testing.T) {
 
 func TestWorkloadNames(t *testing.T) {
 	names := WorkloadNames()
-	if len(names) != 7 {
+	// The paper's seven plus the four ported x/benchmarks shapes.
+	if len(names) != 11 {
 		t.Errorf("WorkloadNames = %v", names)
+	}
+	for i, want := range []string{"synthetic", "lbm"} {
+		if names[i] != want {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want)
+		}
 	}
 }
 
