@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-baseline bench-gate serve-smoke serve-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
+.PHONY: all build test test-short race bench bench-baseline bench-gate alloc-gate serve-smoke serve-bench offload-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
 
 all: build lint test
 
@@ -50,6 +50,24 @@ bench-gate:
 	$(GO) run ./cmd/tintstat -exact-ops -threshold 1000000000 \
 		BENCH_smoke_baseline.json /tmp/tint_bench_a.json
 
+# Zero-allocation gate, two halves (see CONTRIBUTING.md):
+#   1. The AllocsPerRun tests pin the serve colored fast path and the
+#      batched-refill round trip at exactly 0 allocs/op. They must
+#      run without -race (the race detector's instrumentation
+#      allocates; under -race they skip themselves).
+#   2. tintstat -exact-allocs checks the engine harness's measured
+#      allocs/op against the checked-in smoke baseline: a one-sided
+#      growth gate (2% + 0.01 tolerance) over whole-process Mallocs
+#      deltas divided by the deterministic op counters. It catches an
+#      accidental per-op allocation on any hot path the suite
+#      exercises, not just the serve front-end.
+alloc-gate:
+	$(GO) test -run TestZeroAlloc -count=1 -v ./internal/serve
+	$(GO) run ./cmd/tintbench -exp bench -scale 0.05 -repeats 1 \
+		-bench-parallel 1,2 -bench-samples 3 -out /tmp/tint_alloc.json
+	$(GO) run ./cmd/tintstat -exact-allocs -threshold 1000000000 \
+		BENCH_smoke_baseline.json /tmp/tint_alloc.json
+
 # Concurrent front-end shakeout: the kernel-vs-serve differential
 # test and the all-cores hammer, both under the race detector (see
 # DESIGN.md Sec. 11).
@@ -61,6 +79,12 @@ serve-smoke:
 # in as the baseline.
 serve-bench:
 	$(GO) run ./cmd/tintbench -exp serve -serve-ops 20000 -serve-out BENCH_serve.json
+
+# Serve sweep twice — inline, then through the per-node allocation
+# cores fed by SPSC rings (serve.Offload) — into one report with the
+# inline-vs-offloaded speedup (see EXPERIMENTS.md "offload").
+offload-bench:
+	$(GO) run ./cmd/tintbench -exp offload -serve-ops 20000 -serve-out BENCH_serve.json
 
 microbench:
 	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/phys ./internal/cache ./internal/mem ./internal/kernel

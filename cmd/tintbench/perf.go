@@ -147,10 +147,13 @@ func mean(v []float64) float64 {
 // determinism bug, not noise, and fails the harness.
 func timeExperiment(e perfExperiment, workers, samples int) (benchfmt.Record, error) {
 	rec := benchfmt.Record{Experiment: e.name, Parallel: workers}
+	var allocSamples []float64
 	for s := 0; s < samples; s++ {
+		m0 := mallocCount()
 		start := time.Now()
 		cells, ops, err := e.run(workers)
 		wall := time.Since(start).Seconds()
+		m1 := mallocCount()
 		if err != nil {
 			return rec, fmt.Errorf("%s (parallel %d): %w", e.name, workers, err)
 		}
@@ -163,11 +166,26 @@ func timeExperiment(e perfExperiment, workers, samples int) (benchfmt.Record, er
 		rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
 		rec.CellsPerSecSamples = append(rec.CellsPerSecSamples, float64(cells)/wall)
 		rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(ops)/wall)
+		allocSamples = append(allocSamples, float64(m1-m0)/float64(allocDenom(ops, cells)))
 	}
 	rec.WallSeconds = mean(rec.WallSecondsSamples)
 	rec.CellsPerSec = mean(rec.CellsPerSecSamples)
 	rec.OpsPerSec = mean(rec.OpsPerSecSamples)
+	rec.AllocsPerOp = mean(allocSamples)
 	return rec, nil
+}
+
+// allocDenom picks the denominator for allocs_per_op: engine ops, or
+// cells for experiments that do no engine work (matching the
+// cells/sec fallback the throughput series use).
+func allocDenom(ops uint64, cells int) uint64 {
+	if ops > 0 {
+		return ops
+	}
+	if cells > 0 {
+		return uint64(cells)
+	}
+	return 1
 }
 
 func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64,
@@ -201,6 +219,7 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64,
 	for _, workers := range parVals {
 		var totalCells int
 		var totalOps uint64
+		var totalAllocs float64
 		totalWall := make([]float64, samples)
 		for _, e := range exps {
 			rec, err := timeExperiment(e, workers, samples)
@@ -210,6 +229,7 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64,
 			rep.Records = append(rep.Records, rec)
 			totalCells += rec.Cells
 			totalOps += rec.EngineOps
+			totalAllocs += rec.AllocsPerOp * float64(allocDenom(rec.EngineOps, rec.Cells))
 			for s, wall := range rec.WallSecondsSamples {
 				totalWall[s] += wall
 			}
@@ -231,6 +251,7 @@ func runBenchHarness(w io.Writer, outPath, parCSV string, memBytes uint64,
 		overall.WallSeconds = mean(overall.WallSecondsSamples)
 		overall.CellsPerSec = mean(overall.CellsPerSecSamples)
 		overall.OpsPerSec = mean(overall.OpsPerSecSamples)
+		overall.AllocsPerOp = totalAllocs / float64(allocDenom(totalOps, totalCells))
 		rep.Overall = append(rep.Overall, overall)
 	}
 

@@ -20,33 +20,41 @@ import (
 // internal packages never read the wall clock), and writes a
 // format-2 benchfmt report with raw samples, mirroring the
 // BENCH_engine.json harness.
+//
+// `tintbench -exp offload` additionally re-runs the same sweep
+// through the allocation-core front-end (serve.Offload): one
+// dedicated goroutine per node executes all allocator calls, fed by
+// per-client SPSC rings. Both sides land in the same report so the
+// inline-vs-offloaded comparison is self-contained.
 
-func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient, samples int, cfg serve.Config) error {
-	if samples < 1 {
-		return fmt.Errorf("-bench-samples: must be >= 1, have %d", samples)
-	}
-	rep := &benchfmt.ServeReport{
-		Format:       benchfmt.FormatVersion,
-		HostCPUs:     runtime.NumCPU(),
-		OpsPerClient: opsPerClient,
-		Samples:      samples,
-	}
-	fmt.Fprintf(w, "serve scaling harness (%d ops/client, %d samples, host cpus %d)\n",
-		opsPerClient, samples, rep.HostCPUs)
-	fmt.Fprintf(w, "%-20s %6s %8s %10s %9s %12s %9s %9s %9s\n",
-		"scenario", "nodes", "clients", "ops", "wall (s)", "ops/sec", "retries", "refills", "degraded")
-	for _, spec := range bench.ServeScalingSpecs(opsPerClient) {
+// mallocCount reads the host's cumulative heap allocation count;
+// sample deltas divided by completed ops give allocs_per_op.
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// serveSweep times every spec through `run`, printing one table row
+// per scenario and returning the format-2 records.
+func serveSweep(w io.Writer, specs []bench.ServeSpec, samples int,
+	run func(bench.ServeSpec) (*bench.ServeCellResult, error)) ([]benchfmt.ServeRecord, error) {
+	var recs []benchfmt.ServeRecord
+	for _, spec := range specs {
 		rec := benchfmt.ServeRecord{
 			Scenario: spec.Name,
 			Nodes:    spec.Nodes,
 			Clients:  spec.Clients,
 		}
+		var allocSamples []float64
 		for s := 0; s < samples; s++ {
+			m0 := mallocCount()
 			start := time.Now()
-			cell, err := bench.RunServeCell(spec, memBytes, cfg)
+			cell, err := run(spec)
 			wall := time.Since(start).Seconds()
+			m1 := mallocCount()
 			if err != nil {
-				return fmt.Errorf("%s: %w", spec.Name, err)
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
 			}
 			// Ops per completed run is deterministic for a spec; the
 			// contention counters are timing-dependent, so the last
@@ -60,14 +68,45 @@ func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient,
 			rec.Degraded = cell.Stats.DegradedAllocs()
 			rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
 			rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(cell.Ops)/wall)
+			allocSamples = append(allocSamples, float64(m1-m0)/float64(cell.Ops))
 		}
 		rec.WallSeconds = mean(rec.WallSecondsSamples)
 		rec.OpsPerSec = mean(rec.OpsPerSecSamples)
-		rep.Records = append(rep.Records, rec)
-		fmt.Fprintf(w, "%-20s %6d %8d %10d %9.3f %12.0f %9d %9d %9d\n",
+		rec.AllocsPerOp = mean(allocSamples)
+		recs = append(recs, rec)
+		fmt.Fprintf(w, "%-20s %6d %8d %10d %9.3f %12.0f %9d %9d %9d %10.2f\n",
 			rec.Scenario, rec.Nodes, rec.Clients, rec.Ops, rec.WallSeconds,
-			rec.OpsPerSec, rec.Retries, rec.Refills, rec.Degraded)
+			rec.OpsPerSec, rec.Retries, rec.Refills, rec.Degraded, rec.AllocsPerOp)
 	}
+	return recs, nil
+}
+
+func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient, samples int,
+	cfg serve.Config, offload bool, ocfg serve.OffloadConfig) error {
+	if samples < 1 {
+		return fmt.Errorf("-bench-samples: must be >= 1, have %d", samples)
+	}
+	rep := &benchfmt.ServeReport{
+		Format:       benchfmt.FormatVersion,
+		HostCPUs:     runtime.NumCPU(),
+		OpsPerClient: opsPerClient,
+		Samples:      samples,
+	}
+	specs := bench.ServeScalingSpecs(opsPerClient)
+	fmt.Fprintf(w, "serve scaling harness (%d ops/client, %d samples, host cpus %d)\n",
+		opsPerClient, samples, rep.HostCPUs)
+	header := func() {
+		fmt.Fprintf(w, "%-20s %6s %8s %10s %9s %12s %9s %9s %9s %10s\n",
+			"scenario", "nodes", "clients", "ops", "wall (s)", "ops/sec", "retries", "refills", "degraded", "allocs/op")
+	}
+	header()
+	recs, err := serveSweep(w, specs, samples, func(spec bench.ServeSpec) (*bench.ServeCellResult, error) {
+		return bench.RunServeCell(spec, memBytes, cfg)
+	})
+	if err != nil {
+		return err
+	}
+	rep.Records = recs
 
 	one := benchfmt.FindServeRecord(rep.Records, "1_node_16_clients")
 	four := benchfmt.FindServeRecord(rep.Records, "4_nodes_16_clients")
@@ -77,6 +116,25 @@ func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient,
 	}
 	if rep.HostCPUs == 1 {
 		fmt.Fprintf(w, "note: single-core host — shards cannot run concurrently here; ~1x scaling expected\n")
+	}
+
+	if offload {
+		fmt.Fprintf(w, "\noffloaded allocation cores (ring depth %d): same sweep, allocator calls\n", ocfg.RingDepth)
+		fmt.Fprintf(w, "executed by one dedicated goroutine per node, fed over SPSC rings\n")
+		header()
+		offRecs, err := serveSweep(w, specs, samples, func(spec bench.ServeSpec) (*bench.ServeCellResult, error) {
+			return bench.RunOffloadServeCell(spec, memBytes, cfg, ocfg)
+		})
+		if err != nil {
+			return err
+		}
+		rep.OffloadRecords = offRecs
+		offFour := benchfmt.FindServeRecord(rep.OffloadRecords, "4_nodes_16_clients")
+		if four != nil && offFour != nil && four.OpsPerSec > 0 {
+			rep.OffloadSpeedup = offFour.OpsPerSec / four.OpsPerSec
+			fmt.Fprintf(w, "\noffload vs inline: 4_nodes_16_clients ops/sec %.0f -> %.0f (%.2fx)\n",
+				four.OpsPerSec, offFour.OpsPerSec, rep.OffloadSpeedup)
+		}
 	}
 
 	// Fold the previous report in as the baseline, as the engine

@@ -16,6 +16,12 @@ type compareOpts struct {
 	Alpha     float64
 	Threshold float64 // percent
 	ExactOps  bool
+	// ExactAllocs gates on allocs/op growth: a series whose new
+	// allocs_per_op exceeds the old by more than 2% + 0.01 absolute
+	// (headroom for runtime background noise in the Mallocs counter)
+	// is a mismatch. Series measured on only one side are skipped —
+	// older report files predate the field.
+	ExactAllocs bool
 }
 
 // deltaRow is one series' old-vs-new comparison.
@@ -47,6 +53,10 @@ type deltaRow struct {
 	OldCells    int    `json:"old_cells"`
 	NewCells    int    `json:"new_cells"`
 	OpsMismatch bool   `json:"ops_mismatch,omitempty"`
+	// Host allocations per op (exact-allocs gate; 0 = unmeasured).
+	OldAllocsPerOp float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocsPerOp float64 `json:"new_allocs_per_op,omitempty"`
+	AllocsMismatch bool    `json:"allocs_mismatch,omitempty"`
 }
 
 // comparison is the full delta table plus the gate verdict.
@@ -110,6 +120,9 @@ func compare(oldSeries, newSeries []benchfmt.Series, opts compareOpts) *comparis
 		if r.OpsMismatch {
 			out.Mismatches++
 		}
+		if r.AllocsMismatch {
+			out.Mismatches++
+		}
 	}
 	return out
 }
@@ -131,6 +144,10 @@ func deltaOf(o, n *benchfmt.Series, opts compareOpts) deltaRow {
 	r.Regression = r.Significant && r.DeltaPct < -opts.Threshold
 	if opts.ExactOps {
 		r.OpsMismatch = o.Ops != n.Ops || o.Cells != n.Cells
+	}
+	r.OldAllocsPerOp, r.NewAllocsPerOp = o.AllocsPerOp, n.AllocsPerOp
+	if opts.ExactAllocs && o.HasAllocs && n.HasAllocs {
+		r.AllocsMismatch = n.AllocsPerOp > o.AllocsPerOp*1.02+0.01
 	}
 	return r
 }
@@ -173,6 +190,12 @@ func (c *comparison) WriteText(w io.Writer) {
 			}
 			verdict += "OPS-MISMATCH"
 		}
+		if r.AllocsMismatch {
+			if verdict != "" {
+				verdict += ","
+			}
+			verdict += "ALLOC-GROWTH"
+		}
 		fmt.Fprintf(w, "%-24s %-9s %16s %16s %9s %8s  %s\n",
 			r.Key, r.Unit,
 			fval(r.OldMean, 0)+"±"+fval(r.OldCI95, 0),
@@ -194,7 +217,8 @@ func (c *comparison) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"key", "unit", "old_mean", "new_mean",
 		"old_n", "new_n", "old_ci95", "new_ci95", "delta_pct", "t", "p",
-		"significant", "regression", "old_ops", "new_ops", "ops_mismatch"}); err != nil {
+		"significant", "regression", "old_ops", "new_ops", "ops_mismatch",
+		"old_allocs_per_op", "new_allocs_per_op", "allocs_mismatch"}); err != nil {
 		return err
 	}
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -204,7 +228,9 @@ func (c *comparison) WriteCSV(w io.Writer) error {
 			g(r.DeltaPct), g(r.T), g(r.P),
 			strconv.FormatBool(r.Significant), strconv.FormatBool(r.Regression),
 			strconv.FormatUint(r.OldOps, 10), strconv.FormatUint(r.NewOps, 10),
-			strconv.FormatBool(r.OpsMismatch)}); err != nil {
+			strconv.FormatBool(r.OpsMismatch),
+			g(r.OldAllocsPerOp), g(r.NewAllocsPerOp),
+			strconv.FormatBool(r.AllocsMismatch)}); err != nil {
 			return err
 		}
 	}

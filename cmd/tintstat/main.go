@@ -13,6 +13,9 @@
 //	-format text     output: text|csv|json
 //	-exact-ops       additionally require the deterministic work
 //	                 counters (engine ops, cells) to match exactly
+//	-exact-allocs    additionally require host allocs/op not to grow
+//	                 beyond the old report's (2% + 0.01 tolerance;
+//	                 series without the measurement are skipped)
 //	-o FILE          write the delta table to FILE instead of stdout
 //
 // The exit status is the contract CI relies on, mirroring tintvet:
@@ -43,11 +46,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tintstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		alpha     = fs.Float64("alpha", 0.05, "significance level for Welch's t-test")
-		threshold = fs.Float64("threshold", 2.0, "minimum mean regression (percent) to gate on")
-		format    = fs.String("format", "text", "output format: text|csv|json")
-		exactOps  = fs.Bool("exact-ops", false, "require deterministic work counters to match exactly")
-		outPath   = fs.String("o", "", "write the delta table to this file instead of stdout")
+		alpha       = fs.Float64("alpha", 0.05, "significance level for Welch's t-test")
+		threshold   = fs.Float64("threshold", 2.0, "minimum mean regression (percent) to gate on")
+		format      = fs.String("format", "text", "output format: text|csv|json")
+		exactOps    = fs.Bool("exact-ops", false, "require deterministic work counters to match exactly")
+		exactAllocs = fs.Bool("exact-allocs", false, "require host allocs/op not to grow vs the old report")
+		outPath     = fs.String("o", "", "write the delta table to this file instead of stdout")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: tintstat [flags] OLD.json NEW.json")
@@ -89,9 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cmp := compare(oldSeries, newSeries, compareOpts{
-		Alpha:     *alpha,
-		Threshold: *threshold,
-		ExactOps:  *exactOps,
+		Alpha:       *alpha,
+		Threshold:   *threshold,
+		ExactOps:    *exactOps,
+		ExactAllocs: *exactAllocs,
 	})
 	cmp.Kind = oldKind
 	cmp.OldPath, cmp.NewPath = oldPath, newPath

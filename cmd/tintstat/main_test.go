@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -156,4 +157,66 @@ func TestMissingKeys(t *testing.T) {
 	if code != 1 {
 		t.Errorf("-exact-ops ignored a missing key: exit %d", code)
 	}
+}
+
+// -exact-allocs gates on allocs/op growth; series without the
+// measurement on both sides are skipped, so old pre-field reports
+// never fail vacuously.
+func TestExactAllocs(t *testing.T) {
+	mk := func(t *testing.T, name string, allocsPerOp float64) string {
+		t.Helper()
+		rep := `{
+  "format": 2, "scale": 0.1, "repeats": 1, "samples": 2, "host_cpus": 4,
+  "records": [
+    {"experiment": "fig10", "parallel": 1, "cells": 4, "engine_ops": 200000,
+     "wall_seconds": 0.4, "ops_per_sec": 500` + allocsField(allocsPerOp) + `,
+     "wall_seconds_samples": [0.4, 0.4], "ops_per_sec_samples": [500, 500]}
+  ],
+  "overall": []
+}`
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, []byte(rep), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldMeasured := mk(t, "old.json", 3.0)
+	oldUnmeasured := mk(t, "oldu.json", 0)
+	same := mk(t, "same.json", 3.0)
+	shrunk := mk(t, "shrunk.json", 1.5)
+	grown := mk(t, "grown.json", 3.5)
+
+	cases := []struct {
+		name     string
+		old, new string
+		want     int
+	}{
+		{"same", oldMeasured, same, 0},
+		{"shrunk", oldMeasured, shrunk, 0},
+		{"grown", oldMeasured, grown, 1},
+		{"old-unmeasured-skips", oldUnmeasured, grown, 0},
+		{"flag-off-ignores-growth", oldMeasured, grown, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := []string{"-exact-allocs", c.old, c.new}
+			if c.name == "flag-off-ignores-growth" {
+				args = args[1:]
+			}
+			code, out, errb := runStat(t, args...)
+			if code != c.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)\n%s", code, c.want, errb, out)
+			}
+			if c.want == 1 && !strings.Contains(out, "ALLOC-GROWTH") {
+				t.Errorf("gating output lacks ALLOC-GROWTH verdict:\n%s", out)
+			}
+		})
+	}
+}
+
+func allocsField(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return `, "allocs_per_op": ` + strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/serve"
+)
+
+// Small serve cells, inline and offloaded, so CI exercises both
+// serving paths end to end (churn, drain, cross-shard audit). The
+// deterministic Ops count must agree between the two: the workload is
+// identical, only where the allocator runs differs.
+
+func TestServeCellInlineAndOffload(t *testing.T) {
+	spec := ServeSpec{Name: "test_2_nodes_4_clients", Nodes: 2, Clients: 4, Ops: 400}
+	const memBytes = 64 << 20
+
+	inline, err := RunServeCell(spec, memBytes, serve.Config{})
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	off, err := RunOffloadServeCell(spec, memBytes, serve.Config{}, serve.OffloadConfig{})
+	if err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	if inline.Ops != off.Ops {
+		t.Errorf("ops diverge: inline %d, offloaded %d", inline.Ops, off.Ops)
+	}
+	// 4 clients x 400 ops plus the final drain; short of exhaustion
+	// the churn always completes its budget.
+	if inline.Ops < 4*400 {
+		t.Errorf("inline ops = %d, want >= %d", inline.Ops, 4*400)
+	}
+	if off.Stats.Allocs != off.Stats.Frees {
+		t.Errorf("offload leak: %d allocs vs %d frees", off.Stats.Allocs, off.Stats.Frees)
+	}
+}

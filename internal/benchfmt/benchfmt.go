@@ -35,6 +35,13 @@ type Record struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	CellsPerSec float64 `json:"cells_per_sec"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
+	// AllocsPerOp is host heap allocations per engine op, measured as
+	// the runtime.MemStats.Mallocs delta across the sample divided by
+	// EngineOps (mean across samples; 0 means unmeasured in files
+	// written before the field existed — genuinely zero-alloc suites
+	// don't occur, every cell at least boots a machine). tintstat's
+	// -exact-allocs gate compares it across reports.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Raw per-sample measurements (format 2). The aggregate fields
 	// above hold the mean across samples.
 	WallSecondsSamples []float64 `json:"wall_seconds_samples,omitempty"`
@@ -95,6 +102,12 @@ type ServeRecord struct {
 	Batches     uint64  `json:"batches"`
 	BatchedReqs uint64  `json:"batched_reqs"`
 	Degraded    uint64  `json:"degraded"` // ladder allocations
+	// AllocsPerOp is host heap allocations per completed client op
+	// (runtime.MemStats.Mallocs delta over the sample / Ops, mean
+	// across samples; 0 = unmeasured in pre-field files). Includes
+	// every goroutine, so it measures the whole serving stack, not one
+	// client's view.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Raw per-sample measurements (format 2).
 	WallSecondsSamples []float64 `json:"wall_seconds_samples,omitempty"`
 	OpsPerSecSamples   []float64 `json:"ops_per_sec_samples,omitempty"`
@@ -120,6 +133,15 @@ type ServeReport struct {
 	// the same cell of Baseline (0 when no baseline). Only comparable
 	// on the same host; see HostCPUs.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// OffloadRecords holds the same scenarios served through the
+	// allocation-core front-end (`tintbench -exp offload`): clients
+	// ship requests to one dedicated core per node over SPSC rings
+	// instead of running the allocator inline. Normalized series key
+	// them as "offload/<scenario>".
+	OffloadRecords []ServeRecord `json:"offload_records,omitempty"`
+	// OffloadSpeedup is offloaded over inline ops/sec at the 4-node
+	// 16-client cell (<1 means offloading lost on this host).
+	OffloadSpeedup float64 `json:"offload_speedup,omitempty"`
 }
 
 // FindServeRecord returns the record for scenario, or nil.
@@ -151,6 +173,11 @@ type Series struct {
 	Ops uint64
 	// Cells is the cell count of the record (0 for serve records).
 	Cells int
+	// AllocsPerOp is the record's host allocations per op; HasAllocs
+	// distinguishes a measured zero from a pre-field file, so
+	// tintstat's -exact-allocs gate skips records that never measured.
+	AllocsPerOp float64
+	HasAllocs   bool
 }
 
 // Kind labels which harness produced a file.
@@ -223,10 +250,12 @@ func EngineSeries(rep *Report) []Series {
 
 func engineSeries(r *Record) Series {
 	s := Series{
-		Key:   fmt.Sprintf("%s/parallel=%d", r.Experiment, r.Parallel),
-		Unit:  "ops/sec",
-		Ops:   r.EngineOps,
-		Cells: r.Cells,
+		Key:         fmt.Sprintf("%s/parallel=%d", r.Experiment, r.Parallel),
+		Unit:        "ops/sec",
+		Ops:         r.EngineOps,
+		Cells:       r.Cells,
+		AllocsPerOp: r.AllocsPerOp,
+		HasAllocs:   r.AllocsPerOp != 0,
 	}
 	// Experiments that do no engine work (the latency primer) fall
 	// back to cells/sec so they still have a throughput signal.
@@ -245,19 +274,33 @@ func engineSeries(r *Record) Series {
 	return s
 }
 
-// ServeSeries normalizes a serve report.
+// ServeSeries normalizes a serve report. Offload records appear under
+// "offload/<scenario>" keys so inline and offloaded runs of the same
+// scenario stay distinct series.
 func ServeSeries(rep *ServeReport) []Series {
 	var out []Series
 	for i := range rep.Records {
-		r := &rep.Records[i]
-		s := Series{Key: r.Scenario, Unit: "ops/sec", Ops: r.Ops}
-		s.Samples = append([]float64(nil), r.OpsPerSecSamples...)
-		if len(s.Samples) == 0 {
-			s.Samples = []float64{r.OpsPerSec}
-		}
-		out = append(out, s)
+		out = append(out, serveSeries(&rep.Records[i], ""))
+	}
+	for i := range rep.OffloadRecords {
+		out = append(out, serveSeries(&rep.OffloadRecords[i], "offload/"))
 	}
 	return out
+}
+
+func serveSeries(r *ServeRecord, prefix string) Series {
+	s := Series{
+		Key:         prefix + r.Scenario,
+		Unit:        "ops/sec",
+		Ops:         r.Ops,
+		AllocsPerOp: r.AllocsPerOp,
+		HasAllocs:   r.AllocsPerOp != 0,
+	}
+	s.Samples = append([]float64(nil), r.OpsPerSecSamples...)
+	if len(s.Samples) == 0 {
+		s.Samples = []float64{r.OpsPerSec}
+	}
+	return s
 }
 
 // WriteFile marshals a report (either shape) to path with the

@@ -52,35 +52,42 @@ type Result struct {
 	EvictedDirty bool
 }
 
-// tagInvalid marks an empty way. Real tags are physical line numbers
-// right-shifted by the set count, so they can never reach 2^64-1 on
-// any mappable address space.
-const tagInvalid = ^uint64(0)
-
-// way is one cache way: its tag plus the replacement stamp
-// stamp == tick<<1 | dirty, where tick is a per-cache monotonic
-// access counter (stamp 0 means invalid — paired with tagInvalid so
-// the hit scan needs no separate validity check). Ticks are unique,
-// so the minimum stamp in a set identifies the exact LRU way and
-// invalid ways (stamp 0) are always victimized first — the same
-// victim an MRU-ordered list produces, without moving any memory on
-// a hit.
-type way struct {
-	tag   uint64
-	stamp uint64
-}
-
 // Cache is a single set-associative level.
+//
+// Way state is structure-of-arrays: tags and replacement stamps live
+// in parallel slices indexed by set*ways+way. A tag entry is uint32
+// storing tag+1, so the zero value means invalid and the hit scan
+// sweeps half the memory a word-wide array would (the simulated tag
+// arrays are the simulator's own hottest data — a 12 MB L3 model
+// keeps 98K ways). Tags are line numbers right-shifted by the set
+// count; Access panics if one ever exceeds 32 bits, which with
+// 128-byte lines puts the modeled physical address space bound at
+// 512 GB per set — far past any machine the paper targets. A stamp
+// entry is uint64 tick<<1 | dirty with
+// tick a per-cache monotonic access counter starting at 1 (stamp 0
+// likewise means invalid). Both encodings make the slices' zero
+// values the empty cache, so New performs no fill pass — per-core
+// L1/L2 construction is just two allocations. Ticks are unique, so
+// the minimum stamp in a set identifies the exact LRU way and invalid
+// ways (stamp 0) are always victimized first — the same victim an
+// MRU-ordered list produces, without moving any memory on a hit. The
+// split also keeps the hit scan (tags only) and the victim scan
+// (stamps only) each on a single densely-packed array.
 type Cache struct {
 	cfg      Config
 	setShift uint // log2(sets)
 	setMask  uint64
 	ways     int
 	tick     uint64 // monotonic access counter (starts at 1)
-	// lines[set*ways : (set+1)*ways] holds the ways of one set; way
+	// tickAtReset is tick's value at the last ResetStats: the access
+	// counter doubles as the Accesses statistic (and Misses is
+	// Accesses-Hits), so the hot path pays for one counter, not three.
+	tickAtReset uint64
+	// tags[set*ways : (set+1)*ways] / stamps[...] hold one set; way
 	// order within a set is arbitrary (recency lives in the stamps).
-	lines []way
-	stats Stats
+	tags   []uint32 // tag+1; 0 = invalid
+	stamps []uint64 // tick<<1 | dirty; 0 = invalid
+	stats  Stats
 }
 
 // New validates cfg and builds the cache. sets = size/(line*ways)
@@ -97,16 +104,14 @@ func New(cfg Config) (*Cache, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
 	}
-	lines := make([]way, sets*uint64(cfg.Ways))
-	for i := range lines {
-		lines[i].tag = tagInvalid
-	}
+	n := sets * uint64(cfg.Ways)
 	return &Cache{
 		cfg:      cfg,
 		setShift: uint(bits.TrailingZeros64(sets)),
 		setMask:  sets - 1,
 		ways:     cfg.Ways,
-		lines:    lines,
+		tags:     make([]uint32, n),
+		stamps:   make([]uint64, n),
 	}, nil
 }
 
@@ -125,31 +130,34 @@ func (c *Cache) SetOf(ln uint64) int { return int(ln & c.setMask) }
 // Access looks up line ln (an address right-shifted by LineShift),
 // installing it on a miss. write marks the line dirty.
 func (c *Cache) Access(ln uint64, write bool) Result {
-	c.stats.Accesses++
 	c.tick++
 	set := ln & c.setMask
 	tag := ln >> c.setShift
+	if tag >= 1<<32-1 {
+		panic(fmt.Sprintf("cache %s: line %#x tag exceeds 32 bits", c.cfg.Name, ln))
+	}
+	want := uint32(tag) + 1
 	base := int(set) * c.ways
-	ways := c.lines[base : base+c.ways : base+c.ways]
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	stamps := c.stamps[base : base+c.ways : base+c.ways]
 
 	var w uint64
 	if write {
 		w = 1
 	}
-	for i := range ways {
-		if ways[i].tag == tag {
+	for i := range tags {
+		if tags[i] == want {
 			// Hit: refresh recency, keeping any prior dirty bit.
-			ways[i].stamp = c.tick<<1 | ways[i].stamp&1 | w
+			stamps[i] = c.tick<<1 | stamps[i]&1 | w
 			c.stats.Hits++
 			return Result{Hit: true}
 		}
 	}
-	c.stats.Misses++
 	victim := 0
-	min := ways[0].stamp
-	for i := 1; i < len(ways); i++ {
-		if ways[i].stamp < min {
-			min, victim = ways[i].stamp, i
+	min := stamps[0]
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < min {
+			min, victim = stamps[i], i
 		}
 	}
 	res := Result{}
@@ -157,9 +165,10 @@ func (c *Cache) Access(ln uint64, write bool) Result {
 		c.stats.Evictions++
 		res.EvictedValid = true
 		res.EvictedDirty = min&1 != 0
-		res.EvictedLine = ways[victim].tag<<c.setShift | set
+		res.EvictedLine = uint64(tags[victim]-1)<<c.setShift | set
 	}
-	ways[victim] = way{tag: tag, stamp: c.tick<<1 | w}
+	tags[victim] = want
+	stamps[victim] = c.tick<<1 | w
 	return res
 }
 
@@ -167,9 +176,12 @@ func (c *Cache) Access(ln uint64, write bool) Result {
 func (c *Cache) Contains(ln uint64) bool {
 	set := ln & c.setMask
 	tag := ln >> c.setShift
+	if tag >= 1<<32-1 {
+		return false
+	}
 	base := int(set) * c.ways
 	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].tag == tag {
+		if c.tags[i] == uint32(tag)+1 {
 			return true
 		}
 	}
@@ -179,16 +191,23 @@ func (c *Cache) Contains(ln uint64) bool {
 // Flush invalidates every line (dirty contents are discarded; victim
 // write-back on flush is not modeled).
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = way{tag: tagInvalid}
-	}
+	clear(c.tags)
+	clear(c.stamps)
 }
 
 // Stats returns a copy of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Accesses = c.tick - c.tickAtReset
+	s.Misses = s.Accesses - s.Hits
+	return s
+}
 
 // ResetStats zeroes the counters without invalidating contents.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.tickAtReset = c.tick
+}
 
 // Opteron-like default level configurations (paper Sec. IV: 128 KB
 // L1, 512 KB private L2, 12 MB shared L3, 128-byte lines).

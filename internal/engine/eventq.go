@@ -1,13 +1,15 @@
 package engine
 
-import "github.com/tintmalloc/tintmalloc/internal/clock"
+import (
+	"math/bits"
+
+	"github.com/tintmalloc/tintmalloc/internal/clock"
+)
 
 // eventQueue is a binary min-heap over the live threads of a phase,
 // ordered by (virtual time, thread id). It replaces the linear
 // earliest-thread scan of the conservative discrete-event loop: with
-// n live threads a scheduling step costs O(log n) instead of O(n),
-// which is what makes many-thread phases (and paper-scale sweeps)
-// wall-clock viable.
+// n live threads a scheduling step costs O(log n) instead of O(n).
 //
 // The ordering key is a strict total order — thread ids are unique —
 // so the heap's minimum is exactly the thread the linear scan would
@@ -16,26 +18,57 @@ import "github.com/tintmalloc/tintmalloc/internal/clock"
 // TestRunsAreByteIdentical) and the engine's scheduler-equivalence
 // test pin this down.
 //
-// The (time, id) keys live in flat slices parallel to the runner
-// slice: sift compares touch two contiguous arrays instead of
-// dereferencing a runnerState pointer per comparison, a measurable
-// share of the per-op scheduling cost.
+// Keys are packed: time<<idBits | id in one uint64 per slot, so a
+// sift comparison is a single integer compare on one contiguous
+// array. idBits is sized to the phase's largest thread id, which
+// leaves 64-idBits bits of virtual time headroom — with even 1024
+// threads that is 2^54 cycles, far past any simulation. If a time
+// ever would overflow its field (or an initial key cannot be packed),
+// the queue falls back permanently to unpacked (time, id) pairs with
+// the identical lexicographic order; the packed compare equals the
+// unpacked one whenever both fields fit, so the fallback never
+// changes the schedule.
 type eventQueue struct {
-	rs    []*runnerState
-	times []clock.Time // times[i] mirrors rs[i].time
-	ids   []int32      // ids[i] mirrors rs[i].id
+	rs []*runnerState
+
+	packed bool
+	idBits uint
+	limit  clock.Time // first unrepresentable time, packed mode only
+	keys   []uint64   // keys[i] = time<<idBits | id
+
+	// Unpacked fallback, mirroring rs[i].time / rs[i].id.
+	times []clock.Time
+	ids   []int32
 }
 
 // newEventQueue heapifies the given runners in place.
 func newEventQueue(rs []*runnerState) *eventQueue {
-	q := &eventQueue{
-		rs:    rs,
-		times: make([]clock.Time, len(rs)),
-		ids:   make([]int32, len(rs)),
+	q := &eventQueue{rs: rs}
+	maxID := 0
+	for _, r := range rs {
+		if r.id > maxID {
+			maxID = r.id
+		}
 	}
-	for i, r := range rs {
-		q.times[i] = r.time
-		q.ids[i] = int32(r.id)
+	q.idBits = uint(bits.Len(uint(maxID)))
+	if q.idBits == 0 {
+		q.idBits = 1
+	}
+	q.limit = clock.Time(1) << (64 - q.idBits)
+	q.packed = true
+	for _, r := range rs {
+		if r.time >= q.limit {
+			q.packed = false
+			break
+		}
+	}
+	if q.packed {
+		q.keys = make([]uint64, len(rs))
+		for i, r := range rs {
+			q.keys[i] = q.pack(r)
+		}
+	} else {
+		q.unpackFrom(rs)
 	}
 	for i := len(rs)/2 - 1; i >= 0; i-- {
 		q.siftDown(i)
@@ -43,14 +76,20 @@ func newEventQueue(rs []*runnerState) *eventQueue {
 	return q
 }
 
-func (q *eventQueue) less(i, j int) bool {
-	return q.times[i] < q.times[j] || (q.times[i] == q.times[j] && q.ids[i] < q.ids[j])
+func (q *eventQueue) pack(r *runnerState) uint64 {
+	return uint64(r.time)<<q.idBits | uint64(r.id)
 }
 
-func (q *eventQueue) swap(i, j int) {
-	q.rs[i], q.rs[j] = q.rs[j], q.rs[i]
-	q.times[i], q.times[j] = q.times[j], q.times[i]
-	q.ids[i], q.ids[j] = q.ids[j], q.ids[i]
+// unpackFrom switches to (and fills) the unpacked representation.
+func (q *eventQueue) unpackFrom(rs []*runnerState) {
+	q.packed = false
+	q.keys = nil
+	q.times = make([]clock.Time, len(rs))
+	q.ids = make([]int32, len(rs))
+	for i, r := range rs {
+		q.times[i] = r.time
+		q.ids[i] = int32(r.id)
+	}
 }
 
 // Len returns the number of live threads.
@@ -63,6 +102,18 @@ func (q *eventQueue) Min() *runnerState { return q.rs[0] }
 // FixMin restores heap order after the minimum's time advanced (the
 // only mutation the event loop performs on a live thread).
 func (q *eventQueue) FixMin() {
+	if q.packed {
+		if q.rs[0].time >= q.limit {
+			// Virtual time outgrew the packed field: degrade once to
+			// the unpacked order for the rest of the phase.
+			q.unpackFrom(q.rs)
+			// rs is already a heap except possibly slot 0; fall through.
+		} else {
+			q.keys[0] = q.pack(q.rs[0])
+			q.siftDown(0)
+			return
+		}
+	}
 	q.times[0] = q.rs[0].time
 	q.siftDown(0)
 }
@@ -72,33 +123,65 @@ func (q *eventQueue) PopMin() *runnerState {
 	r := q.rs[0]
 	last := len(q.rs) - 1
 	q.rs[0] = q.rs[last]
-	q.times[0] = q.times[last]
-	q.ids[0] = q.ids[last]
 	q.rs[last] = nil
 	q.rs = q.rs[:last]
-	q.times = q.times[:last]
-	q.ids = q.ids[:last]
+	if q.packed {
+		q.keys[0] = q.keys[last]
+		q.keys = q.keys[:last]
+	} else {
+		q.times[0] = q.times[last]
+		q.ids[0] = q.ids[last]
+		q.times = q.times[:last]
+		q.ids = q.ids[:last]
+	}
 	if last > 0 {
 		q.siftDown(0)
 	}
 	return r
 }
 
+// siftDown restores heap order below slot i. It shifts the smaller
+// child up into the hole and places the sifting element once at the
+// end, rather than swapping pairwise at every level.
 func (q *eventQueue) siftDown(i int) {
 	n := len(q.rs)
+	r := q.rs[i]
+	if q.packed {
+		k := q.keys[i]
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if c := l + 1; c < n && q.keys[c] < q.keys[l] {
+				m = c
+			}
+			if q.keys[m] >= k {
+				break
+			}
+			q.rs[i], q.keys[i] = q.rs[m], q.keys[m]
+			i = m
+		}
+		q.rs[i], q.keys[i] = r, k
+		return
+	}
+	t, id := q.times[i], q.ids[i]
 	for {
 		l := 2*i + 1
 		if l >= n {
-			return
+			break
 		}
-		min := l
-		if r := l + 1; r < n && q.less(r, l) {
-			min = r
+		m := l
+		if c := l + 1; c < n &&
+			(q.times[c] < q.times[l] || (q.times[c] == q.times[l] && q.ids[c] < q.ids[l])) {
+			m = c
 		}
-		if !q.less(min, i) {
-			return
+		if !(q.times[m] < t || (q.times[m] == t && q.ids[m] < id)) {
+			break
 		}
-		q.swap(i, min)
-		i = min
+		q.rs[i], q.times[i], q.ids[i] = q.rs[m], q.times[m], q.ids[m]
+		i = m
 	}
+	q.rs[i], q.times[i], q.ids[i] = r, t, id
 }

@@ -81,3 +81,56 @@ func BenchmarkTranslateNoTLB(b *testing.B) {
 		}
 	}
 }
+
+// Map-vs-radix page-table comparison, measured two ways: the bare
+// structures under a resident-page lookup sweep, and the full
+// page-table-walk Translate path (TLB off so every op walks). The
+// sweep spans more pages than fit one radix leaf so the root level is
+// exercised too.
+func BenchmarkPTLookupRadix(b *testing.B) {
+	const pages = 4 * ptLeafSize
+	var r RadixPT
+	for vp := uint64(0); vp < pages; vp++ {
+		r.Insert(vaBase>>phys.PageShift+vp, phys.Frame(vp))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vp := vaBase>>phys.PageShift + uint64(i)%pages
+		if _, ok := r.Lookup(vp); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPTLookupMap(b *testing.B) {
+	const pages = 4 * ptLeafSize
+	m := make(map[uint64]phys.Frame)
+	for vp := uint64(0); vp < pages; vp++ {
+		m[vaBase>>phys.PageShift+vp] = phys.Frame(vp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vp := vaBase>>phys.PageShift + uint64(i)%pages
+		if _, ok := m[vp]; !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func benchWalkSweep(b *testing.B, disableRadix bool) {
+	cfg := DefaultConfig()
+	cfg.DisableTLB = true // every Translate walks the page table
+	cfg.DisableRadixPT = disableRadix
+	const pages = 4 * ptLeafSize
+	task, va := benchResidentTask(b, cfg, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i) % pages * phys.PageSize
+		if _, _, err := task.Translate(va + off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkSweepRadix(b *testing.B) { benchWalkSweep(b, false) }
+func BenchmarkWalkSweepMap(b *testing.B)   { benchWalkSweep(b, true) }

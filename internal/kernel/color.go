@@ -7,30 +7,37 @@ import "github.com/tintmalloc/tintmalloc/internal/phys"
 // color_list[MEM_ID][cache_ID], 128x32 on the Opteron platform),
 // plus aggregate counts so "any LLC color of bank bc" and "any bank
 // color of LLC lc" queries stay cheap.
+//
+// The matrix is flattened row-major into one slice-of-stacks indexed
+// bc*nLLC+lc: a probe is a single dependent load instead of the two a
+// [][][]Frame layout costs, and the degradation ladder's combo scans
+// walk one contiguous header array.
 type colorTable struct {
 	nBank, nLLC int
-	lists       [][][]phys.Frame // [bank][llc] LIFO stacks
-	bankCount   []uint64         // frames parked per bank color
-	llcCount    []uint64         // frames parked per LLC color
+	lists       [][]phys.Frame // [bc*nLLC+lc] LIFO stacks
+	bankCount   []uint64       // frames parked per bank color
+	llcCount    []uint64       // frames parked per LLC color
 	total       uint64
 }
 
 func newColorTable(nBank, nLLC int) *colorTable {
-	ct := &colorTable{
+	return &colorTable{
 		nBank:     nBank,
 		nLLC:      nLLC,
-		lists:     make([][][]phys.Frame, nBank),
+		lists:     make([][]phys.Frame, nBank*nLLC),
 		bankCount: make([]uint64, nBank),
 		llcCount:  make([]uint64, nLLC),
 	}
-	for i := range ct.lists {
-		ct.lists[i] = make([][]phys.Frame, nLLC)
-	}
-	return ct
+}
+
+// list returns the (bc, lc) stack.
+func (ct *colorTable) list(bc, lc int) []phys.Frame {
+	return ct.lists[bc*ct.nLLC+lc]
 }
 
 func (ct *colorTable) push(f phys.Frame, bc, lc int) {
-	ct.lists[bc][lc] = append(ct.lists[bc][lc], f)
+	i := bc*ct.nLLC + lc
+	ct.lists[i] = append(ct.lists[i], f)
 	ct.bankCount[bc]++
 	ct.llcCount[lc]++
 	ct.total++
@@ -38,12 +45,13 @@ func (ct *colorTable) push(f phys.Frame, bc, lc int) {
 
 // popExact pops a page of exactly (bc, lc).
 func (ct *colorTable) popExact(bc, lc int) (phys.Frame, bool) {
-	l := ct.lists[bc][lc]
+	i := bc*ct.nLLC + lc
+	l := ct.lists[i]
 	if len(l) == 0 {
 		return 0, false
 	}
 	f := l[len(l)-1]
-	ct.lists[bc][lc] = l[:len(l)-1]
+	ct.lists[i] = l[:len(l)-1]
 	ct.bankCount[bc]--
 	ct.llcCount[lc]--
 	ct.total--
@@ -76,7 +84,7 @@ func (ct *colorTable) popLLCAny(lc int, bankOrder []int) (phys.Frame, bool) {
 		return 0, false
 	}
 	for _, bc := range bankOrder {
-		if len(ct.lists[bc][lc]) > 0 {
+		if len(ct.lists[bc*ct.nLLC+lc]) > 0 {
 			return ct.popExact(bc, lc)
 		}
 	}

@@ -102,6 +102,7 @@ func (k *Kernel) registerLoan(f phys.Frame, t *Task, vp uint64, rung Rung) {
 		k.loans = make(map[phys.Frame]loan)
 	}
 	k.loans[f] = loan{task: t, vp: vp, rung: rung}
+	k.loanRung[f] = uint8(rung) + 1
 }
 
 func (k *Kernel) noteDegraded(r Rung) { k.stats.DegradedAllocs[r]++ }
@@ -299,7 +300,7 @@ func (t *Task) ReclaimLoans() int {
 		if !ok {
 			break // still under pressure; keep the remaining loans
 		}
-		t.proc.pt[l.vp] = fresh
+		t.proc.ptInsert(l.vp, fresh)
 		t.proc.shootdownPage(l.vp)
 		k.freeFrame(old) // drops the loan record; old reparks or rejoins buddy
 		moved++

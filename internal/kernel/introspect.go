@@ -20,7 +20,7 @@ import (
 func (k *Kernel) VisitColorLists(fn func(bankColor, llcColor int, f phys.Frame)) {
 	for bc := 0; bc < k.colors.nBank; bc++ {
 		for lc := 0; lc < k.colors.nLLC; lc++ {
-			for _, f := range k.colors.lists[bc][lc] {
+			for _, f := range k.colors.list(bc, lc) {
 				fn(bc, lc, f)
 			}
 		}
@@ -51,16 +51,24 @@ func (k *Kernel) FrameColors(f phys.Frame) (bankColor, llcColor int) {
 func (k *Kernel) Processes() []*Process { return append([]*Process(nil), k.procs...) }
 
 // VisitPages calls fn for every resident page of p in ascending
-// virtual-page order.
+// virtual-page order. On the radix path the order is structural —
+// RadixPT.Visit walks root chunks and leaf slots in ascending index
+// order — so the guarantee holds with no sorting pass; the map
+// reference path must sort its keys to offer the same order, and the
+// differential tests rely on the two iterations matching exactly.
 func (p *Process) VisitPages(fn func(vpage uint64, f phys.Frame)) {
-	vps := make([]uint64, 0, len(p.pt))
-	for vp := range p.pt {
-		vps = append(vps, vp)
+	if p.ptm != nil {
+		vps := make([]uint64, 0, len(p.ptm))
+		for vp := range p.ptm {
+			vps = append(vps, vp)
+		}
+		sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+		for _, vp := range vps {
+			fn(vp, p.ptm[vp])
+		}
+		return
 	}
-	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
-	for _, vp := range vps {
-		fn(vp, p.pt[vp])
-	}
+	p.pt.Visit(fn)
 }
 
 // Loans returns the number of outstanding degradation-ladder loans

@@ -108,6 +108,13 @@ type Config struct {
 	// ladder of DESIGN.md Sec. 10 instead and only reports OOM once
 	// no free frame exists anywhere on the machine.
 	DisableDegrade bool
+	// DisableRadixPT restores the reference map-backed page tables so
+	// every process resolves vpages through a map[uint64]phys.Frame
+	// instead of the radix arrays of radixpt.go. The radix table is a
+	// pure representation change — same mappings, same outcomes — so
+	// this knob affects wall-clock speed only; the differential tests
+	// pin the two paths byte-identical (DESIGN.md Sec. 14).
+	DisableRadixPT bool
 }
 
 // RemoteChunkPages is the fault-chunk granularity of BuddyRemoteFrac:
@@ -179,7 +186,11 @@ type Kernel struct {
 	stats      Stats
 	// loans tracks frames handed out below the top of the degradation
 	// ladder (degrade.go); nil until the first degraded allocation.
-	loans map[phys.Frame]loan
+	// loanRung is its flat hot-path mirror, indexed by frame: rung+1
+	// while a loan exists, 0 otherwise — freeFrame consults it so the
+	// common (unloaned) free never touches the map.
+	loans    map[phys.Frame]loan
+	loanRung []uint8
 	// fault holds the kernel-level fault-injection hooks (zone-level
 	// hooks live on the buddy allocators themselves).
 	fault FaultHooks
@@ -241,6 +252,7 @@ func NewWithZones(topo *topology.Topology, mapping *phys.Mapping, cfg Config, zo
 		zones:        zones,
 		colors:       newColorTable(mapping.NumBankColors(), mapping.NumLLCColors()),
 		coloredFrame: make([]bool, mapping.Frames()),
+		loanRung:     make([]uint8, mapping.Frames()),
 	}
 	k.frameBank, k.frameLLC = mapping.FrameColorTables()
 	for n := 0; n < mapping.Nodes(); n++ {
@@ -335,7 +347,7 @@ func (k *Kernel) FreeFramesOfNode(n int) uint64 { return k.zones[n].FreeFrames()
 // ColoredFreePages returns the number of free pages currently parked
 // on color_list[bankColor][llcColor].
 func (k *Kernel) ColoredFreePages(bankColor, llcColor int) int {
-	return len(k.colors.lists[bankColor][llcColor])
+	return len(k.colors.list(bankColor, llcColor))
 }
 
 // TotalColoredFree returns all pages across every color list.
@@ -349,7 +361,7 @@ func (k *Kernel) ColorListSnapshot() [][]int {
 	for bc := range out {
 		out[bc] = make([]int, k.colors.nLLC)
 		for lc := range out[bc] {
-			out[bc][lc] = len(k.colors.lists[bc][lc])
+			out[bc][lc] = len(k.colors.list(bc, lc))
 		}
 	}
 	return out
@@ -360,8 +372,12 @@ func (k *Kernel) NewProcess() *Process {
 	p := &Process{
 		k:      k,
 		id:     len(k.procs),
-		pt:     make(map[uint64]phys.Frame),
 		nextVA: vaBase,
+	}
+	if k.cfg.DisableRadixPT {
+		p.ptm = make(map[uint64]phys.Frame)
+	} else {
+		p.pt = new(RadixPT)
 	}
 	k.procs = append(k.procs, p)
 	return p
@@ -641,7 +657,12 @@ func (k *Kernel) popColored(t *Task, localOnly bool) (phys.Frame, bool) {
 // frame's loan (if any) is settled — the borrow ends when the page
 // does.
 func (k *Kernel) freeFrame(f phys.Frame) {
-	delete(k.loans, f)
+	// loanRung mirrors the loans map (rung+1, 0 = no loan) so the
+	// common unloaned free stays a slice load instead of a map delete.
+	if k.loanRung[f] != 0 {
+		k.loanRung[f] = 0
+		delete(k.loans, f)
+	}
 	if k.coloredFrame[f] {
 		k.colors.push(f, int(k.frameBank[f]), int(k.frameLLC[f]))
 		return

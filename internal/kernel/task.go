@@ -43,13 +43,49 @@ type region struct {
 // pages are faulted in on first touch by whichever task touches them,
 // using that task's coloring policy — the first-touch semantics the
 // paper's benchmark analysis relies on.
+//
+// The page table is the two-level radix array of radixpt.go; the
+// map-based table it replaced survives as the reference path behind
+// Config.DisableRadixPT (ptm non-nil), pinned byte-identical by
+// TestRadixPTDifferential. Exactly one of pt/ptm is live.
 type Process struct {
 	k       *Kernel
 	id      int
-	pt      map[uint64]phys.Frame // vpage -> frame
+	pt      *RadixPT              // radix page table (nil when ptm is live)
+	ptm     map[uint64]phys.Frame // reference map page table (DisableRadixPT)
 	regions []region              // sorted by start; bump allocation keeps order
 	nextVA  uint64
 	tasks   []*Task
+}
+
+// ptLookup returns the frame mapped at vpage vp, if any.
+func (p *Process) ptLookup(vp uint64) (phys.Frame, bool) {
+	if p.ptm != nil {
+		f, ok := p.ptm[vp]
+		return f, ok
+	}
+	return p.pt.Lookup(vp)
+}
+
+// ptInsert maps vp to f.
+func (p *Process) ptInsert(vp uint64, f phys.Frame) {
+	if p.ptm != nil {
+		p.ptm[vp] = f
+		return
+	}
+	p.pt.Insert(vp, f)
+}
+
+// ptDelete unmaps vp, reporting whether a mapping existed.
+func (p *Process) ptDelete(vp uint64) bool {
+	if p.ptm != nil {
+		if _, ok := p.ptm[vp]; !ok {
+			return false
+		}
+		delete(p.ptm, vp)
+		return true
+	}
+	return p.pt.Delete(vp)
 }
 
 // ID returns the process identifier.
@@ -86,7 +122,12 @@ func (p *Process) NewTask(core topology.CoreID) (*Task, error) {
 }
 
 // MappedPages returns the number of resident pages.
-func (p *Process) MappedPages() int { return len(p.pt) }
+func (p *Process) MappedPages() int {
+	if p.ptm != nil {
+		return len(p.ptm)
+	}
+	return p.pt.Len()
+}
 
 // regionOf returns the region containing va, if any.
 func (p *Process) regionOf(va uint64) (region, bool) {
@@ -257,8 +298,8 @@ func (t *Task) Munmap(va, length uint64) error {
 	}
 	p.regions = append(p.regions[:idx], p.regions[idx+1:]...)
 	for vp := va >> phys.PageShift; vp < end>>phys.PageShift; vp++ {
-		if f, ok := p.pt[vp]; ok {
-			delete(p.pt, vp)
+		if f, ok := p.ptLookup(vp); ok {
+			p.ptDelete(vp)
 			p.shootdownPage(vp)
 			p.k.freeFrame(f)
 		}
@@ -288,7 +329,7 @@ func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 	if _, ok := p.regionOf(va); !ok {
 		return 0, 0, fmt.Errorf("%w: address %#x", ErrSegfault, va)
 	}
-	if f, ok := p.pt[vp]; ok {
+	if f, ok := p.ptLookup(vp); ok {
 		if t.tlb != nil {
 			t.tlbInsert(vp, f)
 		}
@@ -298,7 +339,7 @@ func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 	if err != nil {
 		return 0, cost, err
 	}
-	p.pt[vp] = f
+	p.ptInsert(vp, f)
 	if rung != RungNone {
 		p.k.registerLoan(f, t, vp, rung)
 	}
@@ -310,14 +351,13 @@ func (t *Task) Translate(va uint64) (phys.Addr, clock.Dur, error) {
 
 // Resident reports whether the page holding va has a frame.
 func (t *Task) Resident(va uint64) bool {
-	_, ok := t.proc.pt[va>>phys.PageShift]
+	_, ok := t.proc.ptLookup(va >> phys.PageShift)
 	return ok
 }
 
 // FrameOfVA returns the frame backing va, if resident.
 func (t *Task) FrameOfVA(va uint64) (phys.Frame, bool) {
-	f, ok := t.proc.pt[va>>phys.PageShift]
-	return f, ok
+	return t.proc.ptLookup(va >> phys.PageShift)
 }
 
 // wantsNode reports whether any of the task's bank colors lives on

@@ -130,16 +130,15 @@ func New(topo *topology.Topology, mapping *phys.Mapping, cfg Config) (*System, e
 		linkBusy: make([]clock.Time, topo.Nodes()*topo.Nodes()),
 		stats:    make([]CoreStats, topo.Cores()),
 	}
-	for i := range s.l1 {
-		l1, err := cache.New(cfg.L1)
-		if err != nil {
-			return nil, err
-		}
-		l2, err := cache.New(cfg.L2)
-		if err != nil {
-			return nil, err
-		}
-		s.l1[i], s.l2[i] = l1, l2
+	// Per-core L1/L2 pairs are built lazily at a core's first access:
+	// a sweep that engages 16 of 32 cores (or a fresh System per cell,
+	// as the bench harness does) never pays for the idle cores'
+	// caches. Validate the configs here so coreCaches cannot fail.
+	if _, err := cache.New(cfg.L1); err != nil {
+		return nil, err
+	}
+	if _, err := cache.New(cfg.L2); err != nil {
+		return nil, err
 	}
 	nL3 := 1
 	if cfg.L3PerSocket {
@@ -165,6 +164,19 @@ func (s *System) Mapping() *phys.Mapping { return s.mapping }
 
 // Topology returns the machine topology.
 func (s *System) Topology() *topology.Topology { return s.topo }
+
+// coreCaches returns core's private L1/L2 pair, building it on first
+// use. The configs were validated in New, so construction cannot
+// fail; a lazily-built cache is indistinguishable from an eager one
+// (both start empty with zeroed stats).
+func (s *System) coreCaches(core topology.CoreID) (*cache.Cache, *cache.Cache) {
+	if s.l1[core] == nil {
+		l1, _ := cache.New(s.cfg.L1)
+		l2, _ := cache.New(s.cfg.L2)
+		s.l1[core], s.l2[core] = l1, l2
+	}
+	return s.l1[core], s.l2[core]
+}
 
 // l3For returns the last-level cache serving the given core.
 func (s *System) l3For(core topology.CoreID) *cache.Cache {
@@ -210,7 +222,7 @@ func (s *System) AccessLevel(core topology.CoreID, a phys.Addr, write bool, t cl
 	st.Accesses++
 	ln := uint64(a) >> phys.LineShift
 
-	l1, l2 := s.l1[core], s.l2[core]
+	l1, l2 := s.coreCaches(core)
 	done := t + l1.Latency()
 	if l1.Access(ln, write).Hit {
 		st.L1Hits++
@@ -290,8 +302,10 @@ func (s *System) ResetStats() {
 		s.stats[i] = CoreStats{}
 	}
 	for i := range s.l1 {
-		s.l1[i].ResetStats()
-		s.l2[i].ResetStats()
+		if s.l1[i] != nil {
+			s.l1[i].ResetStats()
+			s.l2[i].ResetStats()
+		}
 	}
 	for _, c := range s.l3 {
 		c.ResetStats()
@@ -304,8 +318,10 @@ func (s *System) ResetStats() {
 // FlushCaches invalidates every cache in the hierarchy.
 func (s *System) FlushCaches() {
 	for i := range s.l1 {
-		s.l1[i].Flush()
-		s.l2[i].Flush()
+		if s.l1[i] != nil {
+			s.l1[i].Flush()
+			s.l2[i].Flush()
+		}
 	}
 	for _, c := range s.l3 {
 		c.Flush()

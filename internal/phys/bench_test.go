@@ -80,3 +80,62 @@ func BenchmarkLLCColorTable(b *testing.B) {
 		_ = m.LLCColor(addrs[i%len(addrs)])
 	}
 }
+
+// AoS-vs-SoA layout comparison for the per-frame location metadata.
+// The live locTable packs node/channel/rank/bank into one uint32 per
+// frame; locAoS reproduces the padded struct-per-frame layout it
+// replaced. Both loops do the same unpack work — the delta is pure
+// memory layout (4 B/frame vs 8 B/frame), so the sweep touches the
+// whole frame table in scattered order, the pattern Decode sees under
+// allocation churn, where table footprint vs cache size is what
+// decides the miss rate.
+
+type locAoS struct {
+	node    uint32
+	channel uint8
+	rank    uint8
+	bank    uint8
+}
+
+func benchFrames(m *Mapping) []Frame {
+	n := m.Frames()
+	frames := make([]Frame, n)
+	for i := range frames {
+		// 127 is coprime to the power-of-two frame count, so this
+		// permutes [0, n) while defeating the hardware prefetcher.
+		frames[i] = Frame(uint64(i) * 127 % n)
+	}
+	return frames
+}
+
+func BenchmarkFrameLocSoA(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	frames := benchFrames(m)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		packed := m.locTable[frames[i%len(frames)]]
+		sink += int(packed>>locNodeShift&locFieldMask) +
+			int(packed>>locChannelShift&locFieldMask) +
+			int(packed>>locRankShift&locFieldMask) +
+			int(packed>>locBankShift&locFieldMask)
+	}
+	_ = sink
+}
+
+func BenchmarkFrameLocAoS(b *testing.B) {
+	m := benchMapping(b, DefaultSeparable)
+	frames := benchFrames(m)
+	aos := make([]locAoS, m.Frames())
+	for f := range aos {
+		l := m.GatherDecode(Frame(f).Base())
+		aos[f] = locAoS{node: uint32(l.Node), channel: uint8(l.Channel), rank: uint8(l.Rank), bank: uint8(l.Bank)}
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		fl := aos[frames[i%len(frames)]]
+		sink += int(fl.node) + int(fl.channel) + int(fl.rank) + int(fl.bank)
+	}
+	_ = sink
+}

@@ -1,0 +1,101 @@
+// Package ring provides a bounded lock-free single-producer
+// single-consumer queue — the request channel of the offloaded
+// allocation-core experiment (EXPERIMENTS.md), modeled on the
+// per-thread message rings SpeedMalloc uses to ship malloc/free
+// requests to its dedicated allocation core (PAPERS.md).
+//
+// The design is the classic Lamport ring with cached peer indices:
+// producer and consumer each own one monotonically increasing
+// position, published with atomics (which gives the slot accesses
+// their happens-before edges), and keep a cached copy of the peer's
+// position so the common case touches only one shared cache line per
+// operation. Slots are never accessed concurrently: the producer
+// writes buf[tail] strictly before publishing tail+1, and the consumer
+// reads buf[head] only after observing tail > head.
+//
+// A ring is safe for exactly one concurrent producer and one
+// concurrent consumer. Both operations are non-blocking: TryPush
+// reports false on a full ring, TryPop on an empty one — callers spin,
+// yield, or shed as fits their latency budget.
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// pad keeps the hot fields on distinct cache lines so the producer's
+// and consumer's positions do not false-share.
+type pad [64]byte
+
+// SPSC is a bounded single-producer single-consumer queue. The zero
+// value is not usable; call New.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_         pad
+	head      atomic.Uint64 // next slot to pop; owned by the consumer
+	tailCache uint64        // consumer's last view of head's limit
+	_         pad
+	tail      atomic.Uint64 // next slot to push; owned by the producer
+	headCache uint64        // producer's last view of tail's limit
+	_         pad
+}
+
+// New builds a ring with the given capacity, which must be a positive
+// power of two (so position wrap-around is a mask, not a divide).
+func New[T any](capacity int) (*SPSC[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("ring: capacity %d is not a positive power of two", capacity)
+	}
+	return &SPSC[T]{
+		buf:  make([]T, capacity),
+		mask: uint64(capacity) - 1,
+	}, nil
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns a point-in-time element count. It is exact when the
+// caller is the only side currently operating, approximate otherwise.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush appends v, reporting false if the ring is full. Must be
+// called from the single producer only.
+func (r *SPSC[T]) TryPush(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.headCache >= uint64(len(r.buf)) {
+		r.headCache = r.head.Load()
+		if tail-r.headCache >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop removes and returns the oldest element, reporting false if
+// the ring is empty. Must be called from the single consumer only.
+func (r *SPSC[T]) TryPop() (T, bool) {
+	head := r.head.Load()
+	if head >= r.tailCache {
+		r.tailCache = r.tail.Load()
+		if head >= r.tailCache {
+			var zero T
+			return zero, false
+		}
+	}
+	v := r.buf[head&r.mask]
+	// Clear the slot so the ring does not pin pointer payloads past
+	// their pop (a *T element would otherwise stay reachable until the
+	// slot is overwritten a full lap later).
+	var zero T
+	r.buf[head&r.mask] = zero
+	r.head.Store(head + 1)
+	return v, true
+}

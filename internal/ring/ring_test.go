@@ -1,0 +1,142 @@
+package ring
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{-1, 0, 3, 6, 100} {
+		if _, err := New[int](c); err == nil {
+			t.Errorf("New(%d): want error", c)
+		}
+	}
+	for _, c := range []int{1, 2, 64, 1024} {
+		r, err := New[int](c)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c, err)
+		}
+		if r.Cap() != c {
+			t.Errorf("Cap() = %d, want %d", r.Cap(), c)
+		}
+	}
+}
+
+func TestFIFOOrderAndWraparound(t *testing.T) {
+	r, err := New[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several laps around the buffer so head/tail wrap the mask.
+	next := 0
+	for lap := 0; lap < 10; lap++ {
+		for i := 0; i < 5; i++ {
+			if !r.TryPush(next + i) {
+				t.Fatalf("lap %d: push %d failed on non-full ring", lap, next+i)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != next+i {
+				t.Fatalf("lap %d: pop = %d,%v, want %d,true", lap, v, ok, next+i)
+			}
+		}
+		next += 5
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+}
+
+func TestFullAndEmptyBounds(t *testing.T) {
+	r, err := New[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("push on full ring succeeded")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if v, ok := r.TryPop(); !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", r.Len())
+	}
+}
+
+func TestPopClearsSlot(t *testing.T) {
+	r, err := New[*int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := new(int)
+	r.TryPush(v)
+	if got, ok := r.TryPop(); !ok || got != v {
+		t.Fatal("pop did not return pushed pointer")
+	}
+	if r.buf[0] != nil {
+		t.Fatal("pop left the slot pointer live")
+	}
+}
+
+// TestConcurrentSPSC streams a sequence through the ring with a real
+// producer/consumer goroutine pair; under -race this also proves the
+// slot handoff is properly ordered by the index atomics.
+func TestConcurrentSPSC(t *testing.T) {
+	r, err := New[uint64](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	errc := make(chan error, 1)
+	go func() {
+		for i := uint64(0); i < n; {
+			if r.TryPush(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		errc <- nil
+	}()
+	for want := uint64(0); want < n; {
+		v, ok := r.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != want {
+			t.Fatalf("popped %d, want %d", v, want)
+		}
+		want++
+	}
+	<-errc
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("ring not empty after stream")
+	}
+}
+
+func BenchmarkSPSCRoundTrip(b *testing.B) {
+	r, _ := New[uint64](256)
+	for i := 0; i < b.N; i++ {
+		if !r.TryPush(uint64(i)) {
+			b.Fatal("push failed")
+		}
+		if _, ok := r.TryPop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+func testOffload(t *testing.T, cfg Config, ocfg OffloadConfig) (*Offload, *phys.Mapping, *topology.Topology) {
+	t.Helper()
+	s, m, top := testServer(t, cfg)
+	o, err := NewOffload(s, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registered before testServer's s.Close cleanup, so it runs
+	// first: cores stop before the server goes down.
+	t.Cleanup(o.Close)
+	return o, m, top
+}
+
+func TestOffloadConfigValidation(t *testing.T) {
+	s, _, _ := testServer(t, Config{})
+	if _, err := NewOffload(s, OffloadConfig{RingDepth: 3}); err == nil {
+		t.Error("RingDepth 3 accepted")
+	}
+	o, err := NewOffload(s, OffloadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.cfg.RingDepth != 64 {
+		t.Errorf("default RingDepth = %d, want 64", o.cfg.RingDepth)
+	}
+}
+
+// TestOffloadMatchesClaim checks the offloaded path enforces the same
+// placement contract as the inline client: every frame matches the
+// claim and lands on the home node.
+func TestOffloadMatchesClaim(t *testing.T) {
+	o, m, top := testOffload(t, Config{}, OffloadConfig{})
+	c, err := o.NewClient(top.CoresOfNode(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := m.BankColorsOfNode(0)
+	if err := c.SetColors(banks[:8], []int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	var frames []phys.Frame
+	for i := 0; i < 200; i++ {
+		f, err := c.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if !c.Inner().OwnsBankColor(m.FrameBankColor(f)) {
+			t.Fatalf("frame %d bank color %d outside claim", f, m.FrameBankColor(f))
+		}
+		if !c.Inner().OwnsLLCColor(m.FrameLLCColor(f)) {
+			t.Fatalf("frame %d LLC color %d outside claim", f, m.FrameLLCColor(f))
+		}
+		if m.NodeOfFrame(f) != 0 {
+			t.Fatalf("frame %d on node %d, want 0", f, m.NodeOfFrame(f))
+		}
+		frames = append(frames, f)
+	}
+	for _, f := range frames {
+		if err := c.Free(f); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+	}
+	st := o.Server().Stats()
+	if st.Allocs != 200 || st.Frees != 200 {
+		t.Fatalf("stats = %d allocs / %d frees, want 200/200", st.Allocs, st.Frees)
+	}
+}
+
+// TestOffloadConcurrentClients churns offloaded clients on every node
+// at once — under -race this exercises the ring handoffs, the lane
+// snapshot swap, and the per-core serialization.
+func TestOffloadConcurrentClients(t *testing.T) {
+	o, m, top := testOffload(t, Config{}, OffloadConfig{})
+	const perNode = 2
+	var clients []*OffloadClient
+	for n := 0; n < top.Nodes(); n++ {
+		banks := m.BankColorsOfNode(n)
+		for i := 0; i < perNode; i++ {
+			c, err := o.NewClient(top.CoresOfNode(topology.NodeID(n))[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetColors(banks[i*4:i*4+4], []int{i, i + 1}); err != nil {
+				t.Fatal(err)
+			}
+			clients = append(clients, c)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(clients))
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *OffloadClient) {
+			defer wg.Done()
+			var owned []phys.Frame
+			for op := 0; op < 300; op++ {
+				if op%3 == 2 && len(owned) > 0 {
+					if err := c.Free(owned[len(owned)-1]); err != nil {
+						errs[i] = err
+						return
+					}
+					owned = owned[:len(owned)-1]
+					continue
+				}
+				f, err := c.Alloc()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				owned = append(owned, f)
+			}
+			for _, f := range owned {
+				if err := c.Free(f); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	st := o.Server().Stats()
+	if st.Allocs != st.Frees {
+		t.Fatalf("leak: %d allocs vs %d frees", st.Allocs, st.Frees)
+	}
+}
+
+// TestOffloadClosed checks post-Close behavior: requests fail with
+// ErrClosed instead of hanging.
+func TestOffloadClosed(t *testing.T) {
+	s, _, top := testServer(t, Config{})
+	o, err := NewOffload(s, OffloadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := o.NewClient(top.CoresOfNode(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetColors(nil, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	o.Close() // idempotent
+	if _, err := c.Alloc(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Alloc after Close = %v, want ErrClosed", err)
+	}
+	if _, err := o.NewClient(top.CoresOfNode(0)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewClient after Close = %v, want ErrClosed", err)
+	}
+}

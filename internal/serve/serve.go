@@ -226,6 +226,8 @@ func (s *Server) NewClient(core topology.CoreID) (*Client, error) {
 		core:      core,
 		nodeOrder: nodeOrderFor(s.topo, core),
 	}
+	c.req.c = c
+	c.req.resp = make(chan refillResult, 1)
 	s.clientMu.Lock()
 	c.id = len(s.clients)
 	s.clients = append(s.clients, c)
@@ -275,6 +277,15 @@ type Client struct {
 	// so heap pages spread evenly, exactly as the kernel's comboCursor
 	// does; atomic so a client may be driven from several goroutines.
 	cursor atomic.Uint64
+
+	// req is the client's reusable refill request with its persistent
+	// one-slot response channel, so the miss path allocates nothing.
+	// reqBusy guards it: held from enqueue to result, and kept set
+	// forever if the request is abandoned at shutdown (the worker may
+	// still hold the pointer, so the slot must never be recycled —
+	// concurrent same-client misses fall back to a fresh allocation).
+	req     refillReq
+	reqBusy atomic.Bool
 }
 
 // ID returns the client identifier (unique across the server).

@@ -47,6 +47,21 @@ type shard struct {
 	batches      atomic.Uint64 // worker batches served
 	batchedReqs  atomic.Uint64 // requests across those batches
 	rejected     atomic.Uint64 // ErrBusy rejections
+
+	// Worker-owned scratch, touched only by the shard's single worker
+	// goroutine: the batch buffer and serveBatch's served list grow to
+	// BatchMax once and are reused so the refill path allocates
+	// nothing per batch at steady state.
+	wkBatch []*refillReq
+	wkDone  []servedReq
+}
+
+// servedReq pairs a refill request with the frame that satisfies it,
+// held until zoneMu is released (deliveries must not happen under the
+// zone lock; see serveBatch).
+type servedReq struct {
+	req   *refillReq
+	frame phys.Frame
 }
 
 type refillResult struct {
@@ -57,7 +72,10 @@ type refillResult struct {
 
 // refillReq is one client miss waiting on the shard worker. state
 // arbitrates the shutdown race between delivery and abandonment:
-// 0 = pending, 1 = delivered, 2 = abandoned by the requester.
+// 0 = pending, 1 = delivered, 2 = abandoned by the requester. The
+// common instance is the client's embedded reusable one (Client.req);
+// a fresh request is allocated only when the same client misses from
+// two goroutines at once or its slot was poisoned by abandonment.
 type refillReq struct {
 	c     *Client
 	seq   uint64
@@ -233,24 +251,47 @@ func (sh *shard) requestRefill(c *Client, seq uint64, s *Server) (phys.Frame, ke
 		sh.rejected.Add(1)
 		return 0, kernel.RungNone, ErrBusy
 	}
-	req := &refillReq{c: c, seq: seq, resp: make(chan refillResult, 1)}
+	// Reuse the client's embedded request — the miss path stays
+	// allocation-free. The CAS only fails when the same client misses
+	// concurrently from another goroutine (or the slot was poisoned at
+	// shutdown); that rare overlap pays for a fresh request.
+	req := &c.req
+	reused := c.reqBusy.CompareAndSwap(false, true)
+	if reused {
+		req.seq = seq
+		req.state.Store(0)
+	} else {
+		req = &refillReq{c: c, seq: seq, resp: make(chan refillResult, 1)}
+	}
 	select {
 	case sh.refillQ <- req:
 	case <-s.stop:
 		sh.pending.Add(-1)
+		if reused {
+			c.reqBusy.Store(false)
+		}
 		return 0, kernel.RungNone, ErrClosed
 	}
 	select {
 	case res := <-req.resp:
+		if reused {
+			c.reqBusy.Store(false)
+		}
 		return res.frame, res.rung, res.err
 	case <-s.stop:
 		// Closing. If the worker has not picked the request up yet,
 		// abandon it (the worker's drain reclaims any frame it was
 		// about to hand us); if it has, take the delivered result.
+		// An abandoned reusable slot stays poisoned (reqBusy set):
+		// the worker still holds the pointer, and recycling it could
+		// let a stale delivery land in a future request's channel.
 		if req.state.CompareAndSwap(0, 2) {
 			return 0, kernel.RungNone, ErrClosed
 		}
 		res := <-req.resp
+		if reused {
+			c.reqBusy.Store(false)
+		}
 		return res.frame, res.rung, res.err
 	}
 }
@@ -293,6 +334,7 @@ func (s *Server) reclaim(f phys.Frame) {
 // shatters as possible.
 func (sh *shard) worker(s *Server) {
 	defer s.wg.Done()
+	sh.wkBatch = make([]*refillReq, 0, s.cfg.BatchMax)
 	for {
 		var first *refillReq
 		select {
@@ -301,8 +343,7 @@ func (sh *shard) worker(s *Server) {
 			sh.drainClosed(s)
 			return
 		}
-		batch := make([]*refillReq, 1, s.cfg.BatchMax)
-		batch[0] = first
+		batch := append(sh.wkBatch[:0], first)
 		for len(batch) < s.cfg.BatchMax {
 			select {
 			case r := <-sh.refillQ:
@@ -312,9 +353,13 @@ func (sh *shard) worker(s *Server) {
 			}
 			break
 		}
+		sh.wkBatch = batch
 		sh.batches.Add(1)
 		sh.batchedReqs.Add(uint64(len(batch)))
 		sh.serveBatch(s, batch)
+		// Drop the request pointers so served refills don't pin their
+		// clients between batches.
+		clear(batch)
 	}
 }
 
@@ -343,28 +388,29 @@ func (sh *shard) drainClosed(s *Server) {
 // either one under zoneMu is a deadlock (reclaim relocks zoneMu;
 // sync.Mutex is not reentrant).
 func (sh *shard) serveBatch(s *Server, batch []*refillReq) {
-	type served struct {
-		req   *refillReq
-		frame phys.Frame
-	}
 	waiting := batch
-	var done []served
+	done := sh.wkDone[:0]
 	sh.zoneMu.Lock()
 	for len(waiting) > 0 {
-		var still []*refillReq
+		// Compact the unserved requests in place (still ⊆ waiting in
+		// order), so the retry loop reuses the batch buffer instead of
+		// building a fresh slice per shatter.
+		still := 0
 		for _, req := range waiting {
 			if f, ok := sh.popMatch(req.c, req.seq, s); ok {
-				done = append(done, served{req: req, frame: f})
+				done = append(done, servedReq{req: req, frame: f})
 			} else {
-				still = append(still, req)
+				waiting[still] = req
+				still++
 			}
 		}
-		waiting = still
+		waiting = waiting[:still]
 		if len(waiting) == 0 || !sh.shatterLocked(s) {
 			break
 		}
 	}
 	sh.zoneMu.Unlock()
+	sh.wkDone = done
 	for _, sv := range done {
 		sv.req.deliver(sh, s, sv.frame, kernel.RungNone, nil)
 	}
@@ -375,6 +421,7 @@ func (sh *shard) serveBatch(s *Server, batch []*refillReq) {
 			req.deliver(sh, s, 0, kernel.RungNone, ErrNoMemory)
 		}
 	}
+	clear(done)
 }
 
 // shatterLocked (zoneMu held) breaks the smallest free block into
