@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-baseline bench-gate alloc-gate serve-smoke serve-bench offload-bench microbench profile golden figures report sweep chaos-smoke fuzz lint vet-fixtures clean
+.PHONY: all build test test-short race bench bench-baseline bench-gate alloc-gate serve-smoke serve-bench offload-bench microbench profile golden figures report sweep chaos-smoke adaptive-smoke fuzz lint vet-fixtures clean
 
 all: build lint test
 
@@ -119,6 +119,16 @@ sweep:
 chaos-smoke:
 	$(GO) run ./cmd/tintbench -exp chaos -scale 0.05 -repeats 1 \
 		-plans refill-starve,pressure-storm
+
+# Adaptive-policy shakeout under the race detector: the heterogeneous
+# mix under every static policy plus the adaptive engine, clean and
+# under the migrate-flaky fault plan, every cell run twice and
+# compared DeepEqual, with the invariant auditor (check 7 included)
+# after every phase. Result.Check() enforces the acceptance criteria:
+# adaptive beats each static policy on aggregate throughput and cuts
+# degraded allocations vs static MEM (see EXPERIMENTS.md "adaptive").
+adaptive-smoke:
+	$(GO) run -race ./cmd/tintbench -exp adaptive
 
 fuzz:
 	$(GO) test -fuzz=FuzzMmap -fuzztime=30s ./internal/kernel

@@ -13,6 +13,7 @@
 //	tintbench -exp fig11 -scale 0.25 -repeats 3
 //	tintbench -exp fig13 -workload lbm -config 16_threads_4_nodes
 //	tintbench -exp bench -scale 0.1        # perf harness -> BENCH_engine.json
+//	tintbench -exp adaptive                # adaptive-vs-static matrix + chaos rerun
 //	tintbench -suite list                  # show the suite registry
 //	tintbench -suite smoke                 # run a registry suite
 //	tintbench -suites my.toml -suite mine  # user registry over defaults
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|chaos|bench|serve|offload|all")
+		exp        = flag.String("exp", "all", "experiment: latency|fig10|fig11|fig12|fig13|fig14|detail|sweep|chaos|adaptive|bench|serve|offload|all")
 		scale      = flag.Float64("scale", 1.0, "working-set scale factor (1.0 = paper-size)")
 		repeats    = flag.Int("repeats", 3, "repetitions per cell (paper used 10)")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -281,6 +282,40 @@ func main() {
 		}
 		r, err := bench.RunChaos(mach, cfg, *chaosPol, loads, plans, params, *parallel)
 		if err != nil {
+			return err
+		}
+		switch {
+		case csvOut:
+			return r.WriteCSV(os.Stdout)
+		case jsonOut:
+			return r.WriteJSON(os.Stdout)
+		}
+		r.WriteTable(os.Stdout)
+		return nil
+	})
+
+	// The adaptive engine showcase (DESIGN.md Sec. 15) runs on its own
+	// dedicated machine — small, single-node, aged — rather than the
+	// shared -mem one: the experiment's point is capacity pressure, and
+	// its knobs are absolute so -scale cannot wash it out. Every cell
+	// runs twice (byte-identical or the run fails), the clean adaptive
+	// cell is rerun under the migrate-flaky fault plan, and Check()
+	// enforces the acceptance criteria: adaptive beats every static
+	// policy on runtime with fewer degraded allocations than static MEM.
+	run("adaptive", func() error {
+		amach, err := bench.NewAdaptiveMachine(false)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.PlanByName("migrate-flaky")
+		if err != nil {
+			return err
+		}
+		r, err := bench.RunAdaptiveMatrix(amach, params, &plan)
+		if err != nil {
+			return err
+		}
+		if err := r.Check(); err != nil {
 			return err
 		}
 		switch {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/tintmalloc/tintmalloc/internal/bench"
 	"github.com/tintmalloc/tintmalloc/internal/benchfmt"
+	"github.com/tintmalloc/tintmalloc/internal/fault"
 	"github.com/tintmalloc/tintmalloc/internal/policy"
 	"github.com/tintmalloc/tintmalloc/internal/workload"
 )
@@ -118,6 +119,34 @@ func benchExperiments(memBytes uint64, params workload.Params, repeats int) ([]p
 			var ops uint64
 			for _, row := range r.Rows {
 				ops += row.Cell.Ops
+			}
+			return len(r.Rows), ops, nil
+		}},
+		{"adaptive", func(workers int) (int, uint64, error) {
+			// Sequential by design (the engine re-decides policies at
+			// phase barriers, so cells cannot fan out); workers is
+			// ignored and the counters stay identical across -parallel
+			// values. The workload's knobs are absolute, so -scale does
+			// not change the ops either — exactly what the exact-ops
+			// regression gate wants from a deterministic series.
+			amach, err := bench.NewAdaptiveMachine(false)
+			if err != nil {
+				return 0, 0, err
+			}
+			plan, err := fault.PlanByName("migrate-flaky")
+			if err != nil {
+				return 0, 0, err
+			}
+			r, err := bench.RunAdaptiveMatrix(amach, params, &plan)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := r.Check(); err != nil {
+				return 0, 0, err
+			}
+			var ops uint64
+			for i := range r.Rows {
+				ops += r.Rows[i].Metrics.Ops
 			}
 			return len(r.Rows), ops, nil
 		}},

@@ -19,8 +19,12 @@ type compareOpts struct {
 	// ExactAllocs gates on allocs/op growth: a series whose new
 	// allocs_per_op exceeds the old by more than 2% + 0.01 absolute
 	// (headroom for runtime background noise in the Mallocs counter)
-	// is a mismatch. Series measured on only one side are skipped —
-	// older report files predate the field.
+	// is a mismatch. The measurement contract is one-sided: an old
+	// series without the field is skipped (older report files predate
+	// it), but once a baseline measured a series, the new report must
+	// measure it too — and the series itself must still exist. A
+	// vanished series would otherwise shrink the gate's coverage
+	// silently.
 	ExactAllocs bool
 }
 
@@ -67,7 +71,7 @@ type comparison struct {
 	Opts    compareOpts   `json:"opts"`
 	Rows    []deltaRow    `json:"rows"`
 	// Keys present in only one input (reported, and a mismatch under
-	// -exact-ops, but not a statistical regression).
+	// -exact-ops or -exact-allocs, but not a statistical regression).
 	OnlyOld []string `json:"only_old,omitempty"`
 	OnlyNew []string `json:"only_new,omitempty"`
 	// Gate tallies.
@@ -93,7 +97,10 @@ func compare(oldSeries, newSeries []benchfmt.Series, opts compareOpts) *comparis
 		n, ok := newByKey[o.Key]
 		if !ok {
 			out.OnlyOld = append(out.OnlyOld, o.Key)
-			if opts.ExactOps {
+			// Either exactness gate treats a vanished baseline series as
+			// a mismatch: the deterministic work (or its alloc budget) it
+			// pinned is no longer being checked at all.
+			if opts.ExactOps || opts.ExactAllocs {
 				out.Mismatches++
 			}
 			continue
@@ -104,7 +111,7 @@ func compare(oldSeries, newSeries []benchfmt.Series, opts compareOpts) *comparis
 	for i := range newSeries {
 		if !matched[newSeries[i].Key] {
 			out.OnlyNew = append(out.OnlyNew, newSeries[i].Key)
-			if opts.ExactOps {
+			if opts.ExactOps || opts.ExactAllocs {
 				out.Mismatches++
 			}
 		}
@@ -146,8 +153,11 @@ func deltaOf(o, n *benchfmt.Series, opts compareOpts) deltaRow {
 		r.OpsMismatch = o.Ops != n.Ops || o.Cells != n.Cells
 	}
 	r.OldAllocsPerOp, r.NewAllocsPerOp = o.AllocsPerOp, n.AllocsPerOp
-	if opts.ExactAllocs && o.HasAllocs && n.HasAllocs {
-		r.AllocsMismatch = n.AllocsPerOp > o.AllocsPerOp*1.02+0.01
+	// One-sided: an unmeasured baseline is skipped, but a measured
+	// baseline pins the series — the new side failing to measure it is
+	// itself a mismatch, not a silent skip.
+	if opts.ExactAllocs && o.HasAllocs {
+		r.AllocsMismatch = !n.HasAllocs || n.AllocsPerOp > o.AllocsPerOp*1.02+0.01
 	}
 	return r
 }

@@ -15,13 +15,15 @@
 //	                 counters (engine ops, cells) to match exactly
 //	-exact-allocs    additionally require host allocs/op not to grow
 //	                 beyond the old report's (2% + 0.01 tolerance;
-//	                 series without the measurement are skipped)
+//	                 old series without the measurement are skipped,
+//	                 but a series the baseline measured must still
+//	                 exist and be measured in the new report)
 //	-o FILE          write the delta table to FILE instead of stdout
 //
 // The exit status is the contract CI relies on, mirroring tintvet:
 // 0 when no significant regression was found, 1 when at least one
-// series regressed significantly (or -exact-ops found a mismatch),
-// 2 when the inputs could not be loaded or compared.
+// series regressed significantly (or an exactness gate found a
+// mismatch), 2 when the inputs could not be loaded or compared.
 //
 // Wall-clock throughputs are only comparable when both reports come
 // from the same host; the deterministic counters checked by

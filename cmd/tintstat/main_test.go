@@ -157,11 +157,33 @@ func TestMissingKeys(t *testing.T) {
 	if code != 1 {
 		t.Errorf("-exact-ops ignored a missing key: exit %d", code)
 	}
+	// A vanished series also shrinks the alloc gate's coverage, so
+	// -exact-allocs alone must fail on it too.
+	code, _, _ = runStat(t, "-exact-allocs", td("engine_old.json"), trimmed)
+	if code != 1 {
+		t.Errorf("-exact-allocs ignored a missing key: exit %d", code)
+	}
 }
 
-// -exact-allocs gates on allocs/op growth; series without the
-// measurement on both sides are skipped, so old pre-field reports
-// never fail vacuously.
+// The vanished-series verdict pinned against committed fixtures:
+// engine_trimmed.json is engine_ok.json with the fig10 experiment
+// renamed, so under -exact-allocs the baseline's fig10 series counts
+// as a mismatch even though no surviving row grew its allocs.
+func TestGoldenVanishedSeries(t *testing.T) {
+	code, out, errb := runStat(t, "-exact-allocs", td("engine_old.json"), td("engine_trimmed.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	checkGolden(t, "delta_vanished.txt.golden", out)
+	if !strings.Contains(out, "only in "+td("engine_old.json")+": fig10") {
+		t.Errorf("vanished baseline series not reported:\n%s", out)
+	}
+}
+
+// -exact-allocs gates on allocs/op growth. The contract is
+// one-sided: an old series without the measurement is skipped (old
+// pre-field reports never fail vacuously), but once the baseline
+// measured a series, a new report that stops measuring it fails.
 func TestExactAllocs(t *testing.T) {
 	mk := func(t *testing.T, name string, allocsPerOp float64) string {
 		t.Helper()
@@ -195,6 +217,7 @@ func TestExactAllocs(t *testing.T) {
 		{"shrunk", oldMeasured, shrunk, 0},
 		{"grown", oldMeasured, grown, 1},
 		{"old-unmeasured-skips", oldUnmeasured, grown, 0},
+		{"new-unmeasured-fails", oldMeasured, oldUnmeasured, 1},
 		{"flag-off-ignores-growth", oldMeasured, grown, 0},
 	}
 	for _, c := range cases {

@@ -181,3 +181,38 @@ func (c *ChaosResult) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteCSV exports the adaptive matrix: one row per (policy, plan)
+// cell with degradation, switch and compaction columns.
+func (a *AdaptiveResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "config", "policy", "plan", "oom",
+		"runtime", "degraded_total", "loans_outstanding",
+		"switches", "repolicies",
+		"loans_moved", "loans_failed", "pages_moved", "pages_failed", "compact_cost",
+		"remote_frac", "l3_miss_rate", "audits",
+	}); err != nil {
+		return err
+	}
+	for i := range a.Rows {
+		r := &a.Rows[i]
+		if err := cw.Write([]string{
+			a.Workload, a.Config.Name, r.Policy, r.Plan, strconv.FormatBool(r.OOM),
+			fmtD(r.Metrics.Runtime),
+			strconv.FormatUint(r.DegradedTotal(), 10),
+			strconv.Itoa(r.Loans),
+			strconv.Itoa(len(r.Switches)),
+			strconv.FormatUint(r.Repolicies, 10),
+			strconv.Itoa(r.Compact.LoansMoved), strconv.Itoa(r.Compact.LoansFailed),
+			strconv.Itoa(r.Compact.PagesMoved), strconv.Itoa(r.Compact.PagesFailed),
+			fmtD(r.CompactCost),
+			fmtF(r.Metrics.RemoteDRAMFrac), fmtF(r.Metrics.L3MissRate),
+			strconv.Itoa(r.Audits),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

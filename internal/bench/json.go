@@ -248,3 +248,57 @@ func (c *ChaosResult) WriteJSON(w io.Writer) error {
 	}
 	return writeJSON(w, out)
 }
+
+// WriteJSON exports the adaptive-vs-static matrix.
+func (a *AdaptiveResult) WriteJSON(w io.Writer) error {
+	type switchJSON struct {
+		Phase  string `json:"phase"`
+		Thread int    `json:"thread"`
+		From   string `json:"from"`
+		To     string `json:"to"`
+	}
+	type row struct {
+		Policy        string       `json:"policy"`
+		Plan          string       `json:"plan"`
+		OOM           bool         `json:"oom"`
+		Runtime       uint64       `json:"runtime"`
+		DegradedTotal uint64       `json:"degraded_total"`
+		Loans         int          `json:"loans_outstanding"`
+		Switches      []switchJSON `json:"switches"`
+		Repolicies    uint64       `json:"repolicies"`
+		LoansMoved    int          `json:"loans_moved"`
+		LoansFailed   int          `json:"loans_failed"`
+		PagesMoved    int          `json:"pages_moved"`
+		PagesFailed   int          `json:"pages_failed"`
+		CompactCost   uint64       `json:"compact_cost"`
+		RemoteFrac    float64      `json:"remote_frac"`
+		L3MissRate    float64      `json:"l3_miss_rate"`
+		Audits        int          `json:"audits"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		Config     string `json:"config"`
+		Workload   string `json:"workload"`
+		Rows       []row  `json:"rows"`
+	}{Experiment: "adaptive", Config: a.Config.Name, Workload: a.Workload}
+	for i := range a.Rows {
+		r := &a.Rows[i]
+		jr := row{
+			Policy: r.Policy, Plan: r.Plan, OOM: r.OOM,
+			Runtime:       uint64(r.Metrics.Runtime),
+			DegradedTotal: r.DegradedTotal(),
+			Loans:         r.Loans,
+			Repolicies:    r.Repolicies,
+			LoansMoved:    r.Compact.LoansMoved, LoansFailed: r.Compact.LoansFailed,
+			PagesMoved: r.Compact.PagesMoved, PagesFailed: r.Compact.PagesFailed,
+			CompactCost: uint64(r.CompactCost),
+			RemoteFrac:  r.Metrics.RemoteDRAMFrac, L3MissRate: r.Metrics.L3MissRate,
+			Audits: r.Audits,
+		}
+		for _, s := range r.Switches {
+			jr.Switches = append(jr.Switches, switchJSON(s))
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return writeJSON(w, out)
+}

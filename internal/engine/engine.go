@@ -193,6 +193,7 @@ type Engine struct {
 	//tintvet:ignore cycleclock: hookMu guards the test-installed audit hook, not event-loop state
 	hookMu   sync.Mutex
 	audit    func() error //tintvet:guardedby hookMu
+	barrier  BarrierHook  //tintvet:guardedby hookMu
 	opBudget uint64
 	// release[i] is thread i's personal start time for the next
 	// phase (diverges from `now` after a NoWait phase).
@@ -219,6 +220,35 @@ func (e *Engine) auditHook() func() error {
 	e.hookMu.Lock() //tintvet:ignore cycleclock: once-per-barrier hook read, not per-access state
 	defer e.hookMu.Unlock()
 	return e.audit
+}
+
+// BarrierHook is phase-barrier daemon work (see SetBarrierHook): it
+// runs while every thread is parked at the barrier and returns the
+// simulated cycles the work cost, which the engine charges to the
+// whole program by extending the barrier — all threads resume that
+// much later, exactly as if a kernel daemon had held them. A non-nil
+// error aborts the run.
+type BarrierHook func(phase string) (clock.Dur, error)
+
+// SetBarrierHook installs a hook the engine calls at every phase
+// BARRIER — after the phase's threads have synchronized, before the
+// audit hook — and nil removes it. NoWait phases have no barrier and
+// do not trigger it (except the final phase, which always
+// synchronizes). The adaptive policy engine hooks Task.Repolicy and
+// CompactStep here: the barrier is the one instant no thread holds a
+// translation mid-flight, so a recolor's TLB flush and the compaction
+// daemon's page moves are safe without extra synchronization.
+func (e *Engine) SetBarrierHook(h BarrierHook) {
+	e.hookMu.Lock() //tintvet:ignore cycleclock: hook installation, outside the event loop
+	defer e.hookMu.Unlock()
+	e.barrier = h
+}
+
+// barrierHook snapshots the installed hook for one barrier call.
+func (e *Engine) barrierHook() BarrierHook {
+	e.hookMu.Lock() //tintvet:ignore cycleclock: once-per-barrier hook read, not per-access state
+	defer e.hookMu.Unlock()
+	return e.barrier
 }
 
 // defaultOpBudget guards against runaway thread bodies (an infinite
@@ -356,6 +386,20 @@ func (e *Engine) Run(phases []Phase) (*Result, error) {
 		res.Phases = append(res.Phases, pr)
 		if err != nil {
 			return res, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
+		}
+		if hook := e.barrierHook(); barrier && hook != nil {
+			cost, err := hook(ph.Name)
+			if err != nil {
+				return res, fmt.Errorf("engine: barrier hook after phase %q: %w", ph.Name, err)
+			}
+			if cost > 0 {
+				// Daemon work extends the barrier: every thread resumes
+				// after it, and the program as a whole pays for it.
+				e.now += clock.Time(cost)
+				for i := range e.release {
+					e.release[i] = e.now
+				}
+			}
 		}
 		if audit := e.auditHook(); audit != nil {
 			if err := audit(); err != nil {

@@ -55,6 +55,12 @@ type Stats struct {
 	SlabsTrimmed uint64 // empty slabs returned via Trim
 	HugeMapped   uint64 // dedicated large regions requested
 	BytesLive    uint64 // sum of class/page sizes currently allocated
+	// Trim's reclaim pass outcomes: loans the kernel migrated home,
+	// and page copies an injected migration fault failed (those loans
+	// stay on the ledger and are retried by a later Trim or by the
+	// compaction daemon).
+	LoansReclaimed uint64
+	ReclaimFailed  uint64
 }
 
 type allocation struct {
@@ -258,8 +264,12 @@ func (h *Heap) Trim() (released int, err error) {
 	// Returning slabs is the signal that pressure subsided: give the
 	// kernel the chance to migrate this task's degradation-ladder
 	// loans back onto their preferred placement (DESIGN.md Sec. 10).
+	// Both outcomes are recorded: silently discarding the failure
+	// count would hide a faulted reclaim from the stats layer.
 	if released > 0 {
-		h.task.ReclaimLoans()
+		moved, failed := h.task.ReclaimLoans()
+		h.stats.LoansReclaimed += uint64(moved)
+		h.stats.ReclaimFailed += uint64(failed)
 	}
 	return released, nil
 }

@@ -96,6 +96,15 @@ var ownerName = [...]string{"none", "buddy free list", "color list", "page table
 //     borrower at the recorded virtual page, and a same-node color
 //     borrow never holds a color inside another task's private set —
 //     the plan-disjointness guarantee with loans accounted for.
+//  7. The loan ledger and its hot-path mirror agree frame by frame
+//     (same frames, same rungs, every rung on the ladder), and the
+//     lifetime identity holds: loans registered = loans settled +
+//     loans outstanding. This is the check that policy switches
+//     (Task.Repolicy) and compaction (CompactStep) never leak,
+//     double-settle, or silently drop a loan — the mirror is what
+//     freeFrame consults, so a divergence is a future lost loan.
+//
+// (Check 6 is the serve layer's AuditServer, in server.go.)
 //
 // The caller decides what Unaccounted must be: 0 for pristine
 // kernels, the churn holdout for aged ones.
@@ -174,7 +183,18 @@ func Audit(k *kernel.Kernel) *Report {
 	}
 
 	r.Loans = uint64(k.Loans())
+	onLedger := make(map[phys.Frame]bool, k.Loans())
 	k.VisitLoans(func(f phys.Frame, bt *kernel.Task, vp uint64, rung kernel.Rung) {
+		onLedger[f] = true
+		// Check 7: ledger/mirror coherence per loan. The rung must be a
+		// real ladder rung and the flat mirror must record exactly it.
+		if rung < 0 || rung >= kernel.NumRungs {
+			r.addf("loan of frame %d to task %d records rung %d, outside the ladder", f, bt.ID(), int(rung))
+		}
+		if mr := k.LoanRungMirror(f); mr != rung {
+			r.addf("loan of frame %d to task %d: ledger says rung %s but the hot-path mirror says %s",
+				f, bt.ID(), rung, mr)
+		}
 		got, ok := bt.FrameOfVA(vp << phys.PageShift)
 		switch {
 		case !ok:
@@ -210,6 +230,22 @@ func Audit(k *kernel.Kernel) *Report {
 			}
 		}
 	})
+
+	// Check 7, other direction: a mirror entry with no ledger record
+	// would make freeFrame "settle" a loan that does not exist.
+	for f := phys.Frame(0); uint64(f) < r.Frames; f++ {
+		if mr := k.LoanRungMirror(f); mr != kernel.RungNone && !onLedger[f] {
+			r.addf("frame %d: hot-path mirror records rung %s but the loan ledger has no entry", f, mr)
+		}
+	}
+	// Check 7, lifetime identity: every loan ever opened was either
+	// settled or is still on the ledger. Repolicy's in-place settles,
+	// CompactStep's migrations and freeFrame all feed the same
+	// counters, so drift here means a path dropped a loan silently.
+	if st := k.Stats(); st.LoansRegistered != st.LoansSettled+r.Loans {
+		r.addf("loan ledger identity broken: %d registered != %d settled + %d outstanding",
+			st.LoansRegistered, st.LoansSettled, r.Loans)
+	}
 
 	for _, o := range owner {
 		if o == ownerNone {

@@ -135,6 +135,14 @@ func AuditServer(s *serve.Server) *Report {
 	s.VisitLoans(func(f phys.Frame, clientID int, rung kernel.Rung) {
 		r.Loans++
 		loanOf[f] = rung
+		// Check 7, serve side: the flat rung mirror — what Free and the
+		// compactor consult — must agree with the ledger entry.
+		if rung < 0 || rung >= kernel.NumRungs {
+			r.addf("loan of frame %d carries invalid rung %d", f, rung)
+		}
+		if got := s.LoanRungMirror(f); got != rung {
+			r.addf("loan of frame %d at rung %s but the rung mirror holds %s", f, rung, got)
+		}
 		if got, ok := holder[f]; !ok {
 			r.addf("loan of frame %d to client %d (rung %s) is dangling: frame not outstanding", f, clientID, rung)
 		} else if got != clientID {
@@ -193,6 +201,16 @@ func AuditServer(s *serve.Server) *Report {
 			r.addf("colored frame %d held by uncolored client %d with no loan recorded", f, clientID)
 		case !colored && claimed:
 			r.addf("zone frame %d held by colored client %d with no loan recorded", f, clientID)
+		}
+	}
+
+	// Check 7's other direction: no mirror entry without a ledger
+	// entry — a stale mirror would settle a nonexistent loan on free.
+	for f := phys.Frame(0); uint64(f) < m.Frames(); f++ {
+		if rung := s.LoanRungMirror(f); rung != kernel.RungNone {
+			if _, ok := loanOf[f]; !ok {
+				r.addf("rung mirror marks frame %d at rung %s with no loan on the ledger", f, rung)
+			}
 		}
 	}
 

@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/tintmalloc/tintmalloc/internal/buddy"
 	"github.com/tintmalloc/tintmalloc/internal/clock"
@@ -103,9 +102,13 @@ func (k *Kernel) registerLoan(f phys.Frame, t *Task, vp uint64, rung Rung) {
 	}
 	k.loans[f] = loan{task: t, vp: vp, rung: rung}
 	k.loanRung[f] = uint8(rung) + 1
+	k.stats.LoansRegistered++
 }
 
-func (k *Kernel) noteDegraded(r Rung) { k.stats.DegradedAllocs[r]++ }
+func (k *Kernel) noteDegraded(t *Task, r Rung) {
+	k.stats.DegradedAllocs[r]++
+	t.degraded++
+}
 
 // degradedColoredAlloc walks the ladder for a colored task whose
 // preferred path (own colors, all refills) came up empty. By that
@@ -277,34 +280,12 @@ func (k *Kernel) allocPreferred(t *Task) (phys.Frame, clock.Dur, bool) {
 // home free list. heap.Trim calls it after releasing slabs — the
 // moment pressure subsides — but it is safe to call at any time. Only
 // loans whose preferred placement is available again move; the rest
-// stay loaned. Returns the number of pages moved.
-func (t *Task) ReclaimLoans() int {
-	k := t.proc.k
-	if len(k.loans) == 0 {
-		return 0
-	}
-	// Collect this task's loans and process them in ascending frame
-	// order; iterating the map directly would make the replacement
-	// placements depend on Go's randomized map order.
-	frames := make([]phys.Frame, 0, len(k.loans))
-	for f, l := range k.loans {
-		if l.task == t {
-			frames = append(frames, f)
-		}
-	}
-	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
-	moved := 0
-	for _, old := range frames {
-		l := k.loans[old]
-		fresh, _, ok := k.allocPreferred(t)
-		if !ok {
-			break // still under pressure; keep the remaining loans
-		}
-		t.proc.ptInsert(l.vp, fresh)
-		t.proc.shootdownPage(l.vp)
-		k.freeFrame(old) // drops the loan record; old reparks or rejoins buddy
-		moved++
-		k.stats.LoansReclaimed++
-	}
-	return moved
+// stay loaned. Each page copy consults the injected migration fault
+// hook (exactly like Task.Migrate): a faulted copy leaves its loan on
+// the ledger, intact, and counts in failed. Returns the pages moved
+// and the copies an injected fault failed.
+func (t *Task) ReclaimLoans() (moved, failed int) {
+	var st CompactStats
+	t.compactLoans(int(^uint(0)>>1), &st)
+	return st.LoansMoved, st.LoansFailed
 }

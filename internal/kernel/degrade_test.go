@@ -211,9 +211,9 @@ func TestReclaimLoans(t *testing.T) {
 	}
 	// Pressure subsides: faults clear, preferred placement works again.
 	k.SetFaultHooks(kernel.FaultHooks{})
-	moved := task.ReclaimLoans()
-	if moved != pages {
-		t.Fatalf("ReclaimLoans moved %d, want %d", moved, pages)
+	moved, failed := task.ReclaimLoans()
+	if moved != pages || failed != 0 {
+		t.Fatalf("ReclaimLoans = (%d, %d), want (%d, 0)", moved, failed, pages)
 	}
 	if k.Loans() != 0 {
 		t.Errorf("%d loans outstanding after reclaim", k.Loans())
@@ -231,6 +231,73 @@ func TestReclaimLoans(t *testing.T) {
 		if !task.OwnsBankColor(bc) || !task.OwnsLLCColor(lc) {
 			t.Errorf("page %d reclaimed onto frame %d with colors (%d,%d) outside the task's sets", p, f, bc, lc)
 		}
+	}
+	auditClean(t, k)
+}
+
+// TestReclaimLoansFaulted is the regression test for the reclaim
+// report: a faulted reclaim used to be invisible to callers (Trim
+// discarded the count entirely), so a plan injecting migration faults
+// could leave loans outstanding with nothing in the stats admitting
+// it. Every outcome must now be accounted: moved + failed covers the
+// ledger, failed loans stay intact on it, and a later clean reclaim
+// sends them home.
+func TestReclaimLoansFaulted(t *testing.T) {
+	k := bootDegrade(t, kernel.DefaultConfig())
+	tasks := plannedTasks(t, k, policy.MEMLLC)
+	task := tasks[0]
+	k.SetFaultHooks(kernel.FaultHooks{Refill: func(node int) bool { return true }})
+	const pages = 16
+	va, err := task.Mmap(0, pages*phys.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < pages; p++ {
+		if _, _, err := task.Translate(va + p*phys.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Loans() != pages {
+		t.Fatalf("Loans = %d, want %d", k.Loans(), pages)
+	}
+	// Pressure subsides, but half the page copies fault.
+	k.SetFaultHooks(kernel.FaultHooks{
+		Migrate: func(taskID int, vpage uint64) bool { return vpage%2 == 0 },
+	})
+	moved, failed := task.ReclaimLoans()
+	if moved+failed != pages {
+		t.Fatalf("ReclaimLoans = (%d, %d): outcomes don't cover the %d loans", moved, failed, pages)
+	}
+	if failed == 0 {
+		t.Fatal("no injected migration fault fired")
+	}
+	if k.Loans() != failed {
+		t.Errorf("Loans = %d after faulted reclaim, want %d (each failure keeps its loan)", k.Loans(), failed)
+	}
+	// The surviving loans must be intact: right task, mapped page,
+	// mirror coherent — a faulted copy is a no-op, not a half-move.
+	k.VisitLoans(func(f phys.Frame, lt *kernel.Task, vp uint64, rung kernel.Rung) {
+		if lt != task {
+			t.Errorf("frame %d: loan reassigned to task %d by a faulted reclaim", f, lt.ID())
+		}
+		got, ok := task.FrameOfVA(vp << phys.PageShift)
+		if !ok || got != f {
+			t.Errorf("frame %d: loan's vpage %#x no longer maps to it", f, vp)
+		}
+	})
+	auditClean(t, k)
+	st := k.Stats()
+	if st.LoansReclaimed != uint64(moved) {
+		t.Errorf("LoansReclaimed = %d, want %d", st.LoansReclaimed, moved)
+	}
+	// Faults clear; the retry drains the ledger.
+	k.SetFaultHooks(kernel.FaultHooks{})
+	moved2, failed2 := task.ReclaimLoans()
+	if moved2 != failed || failed2 != 0 {
+		t.Fatalf("retry ReclaimLoans = (%d, %d), want (%d, 0)", moved2, failed2, failed)
+	}
+	if k.Loans() != 0 {
+		t.Errorf("%d loans outstanding after the retry", k.Loans())
 	}
 	auditClean(t, k)
 }

@@ -91,6 +91,36 @@ func (k *Kernel) VisitLoans(fn func(f phys.Frame, t *Task, vpage uint64, rung Ru
 	}
 }
 
+// LoanRungMirror returns the rung the flat hot-path loan mirror holds
+// for frame f (RungNone when unloaned). The auditor's check 7 walks
+// it against the loans map: the mirror is what freeFrame consults, so
+// a divergence means a loan could be silently dropped or kept past
+// its settlement.
+func (k *Kernel) LoanRungMirror(f phys.Frame) Rung {
+	if k.loanRung[f] == 0 {
+		return RungNone
+	}
+	return Rung(k.loanRung[f] - 1)
+}
+
+// ResidentPages counts the resident pages of the regions this task
+// mmapped — its live footprint, the classifier's capacity feature.
+// O(region pages); meant for barrier-rate sampling, not hot paths.
+func (t *Task) ResidentPages() uint64 {
+	var n uint64
+	for _, r := range t.proc.regions {
+		if r.owner != t {
+			continue
+		}
+		for vp := r.start >> phys.PageShift; vp < r.end>>phys.PageShift; vp++ {
+			if _, ok := t.proc.ptLookup(vp); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // OwnsBankColor reports whether the task's TCB holds bank color c.
 func (t *Task) OwnsBankColor(c int) bool { return c >= 0 && c < len(t.bankSet) && t.bankSet[c] }
 

@@ -49,6 +49,9 @@ var (
 	ErrSegfault = errors.New("kernel: segmentation fault")
 	// ErrNoMemory reports buddy exhaustion on the uncolored path.
 	ErrNoMemory = errors.New("kernel: out of memory")
+	// ErrAdaptiveDisabled reports a Task.Repolicy call on a kernel
+	// booted with Config.DisableAdaptive (the static reference mode).
+	ErrAdaptiveDisabled = errors.New("kernel: adaptive repolicy disabled")
 )
 
 // Config tunes the simulated costs of kernel operations.
@@ -115,6 +118,15 @@ type Config struct {
 	// this knob affects wall-clock speed only; the differential tests
 	// pin the two paths byte-identical (DESIGN.md Sec. 14).
 	DisableRadixPT bool
+	// DisableAdaptive is the reference mode for the adaptive policy
+	// engine (DESIGN.md Sec. 15): it makes Task.Repolicy refuse with
+	// ErrAdaptiveDisabled, so a run configured with it can never switch
+	// a task's colors or run barrier compaction behind the
+	// experimenter's back. The adaptive driver (internal/bench) checks
+	// the knob before installing its barrier hook; the differential
+	// tests pin a DisableAdaptive run byte-identical to the static
+	// policies it started from.
+	DisableAdaptive bool
 }
 
 // RemoteChunkPages is the fault-chunk granularity of BuddyRemoteFrac:
@@ -158,6 +170,21 @@ type Stats struct {
 	DegradedAllocs  [NumRungs]uint64 // frames handed out per ladder rung
 	LoansReclaimed  uint64           // loaned pages migrated back to preferred placement
 	ParkedReclaimed uint64           // parked pages un-colored to serve order>0 requests
+
+	// Loan-ledger counters (auditor check 7, DESIGN.md Sec. 15). Every
+	// loan is registered exactly once and settled exactly once — by a
+	// free, a reclaim migration, or a repolicy that legalizes it in
+	// place — so LoansRegistered == LoansSettled + outstanding loans at
+	// every audit point.
+	LoansRegistered uint64 // loans opened (registerLoan)
+	LoansSettled    uint64 // loans closed (freed, migrated home, or legalized)
+	LoansDemoted    uint64 // borrow-color loans demoted to remote by a repolicy
+
+	// Adaptive-engine counters (DESIGN.md Sec. 15). Zero unless a
+	// barrier driver calls Task.Repolicy / Task.CompactStep.
+	Repolicies   uint64 // Task.Repolicy color-set switches applied
+	CompactScans uint64 // resident pages inspected by CompactStep
+	CompactMoved uint64 // misplaced pages migrated home by CompactStep
 }
 
 // Kernel owns physical memory and all simulated processes.
@@ -409,7 +436,7 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, Rung, error) {
 			if k.mapping.NodeOfFrame(f) == t.nodeOrder[0] {
 				rung = RungBorrowColor
 			}
-			k.noteDegraded(rung)
+			k.noteDegraded(t, rung)
 			return f, k.cfg.FaultCost, rung, nil
 		}
 		return 0, 0, RungNone, ErrNoMemory
@@ -423,7 +450,7 @@ func (k *Kernel) allocPagesFor(t *Task) (phys.Frame, clock.Dur, Rung, error) {
 		return 0, cost, RungNone, ErrNoColoredMemory
 	}
 	if f, rung, ok := k.degradedColoredAlloc(t); ok {
-		k.noteDegraded(rung)
+		k.noteDegraded(t, rung)
 		return f, cost, rung, nil
 	}
 	// The ladder swept buddy zones and color lists alike, so this is
@@ -662,6 +689,7 @@ func (k *Kernel) freeFrame(f phys.Frame) {
 	if k.loanRung[f] != 0 {
 		k.loanRung[f] = 0
 		delete(k.loans, f)
+		k.stats.LoansSettled++
 	}
 	if k.coloredFrame[f] {
 		k.colors.push(f, int(k.frameBank[f]), int(k.frameLLC[f]))

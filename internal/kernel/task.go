@@ -37,6 +37,11 @@ const vaBase uint64 = 1 << 36
 
 type region struct {
 	start, end uint64 // [start, end), page aligned
+	// owner is the task whose Mmap created the region. First-touch
+	// pages of another task inside it are legal (shared data); the
+	// compaction scan (adaptive.go) uses ownership to bound which
+	// resident pages a task may migrate toward its own colors.
+	owner *Task
 }
 
 // Process is an address space shared by its tasks (threads). Heap
@@ -161,6 +166,11 @@ type Task struct {
 	bankOrder   []int        // cached local-first bank color scan order
 	pcp         []phys.Frame // per-task page cache (EnablePCP only)
 	tlb         []tlbEntry   // direct-mapped translation cache (nil when DisableTLB)
+	degraded    uint64       // ladder allocations charged to this task
+	// compactCursor is the next virtual page the incremental
+	// misplaced-page scan of CompactStep resumes from (adaptive.go);
+	// reset by Repolicy, since a color change restarts the scan.
+	compactCursor uint64
 }
 
 // bankScanOrder returns every bank color ordered local-node-first (by
@@ -199,6 +209,15 @@ func (t *Task) UsingBank() bool { return t.usingBank }
 // UsingLLC reports whether LLC coloring is active.
 func (t *Task) UsingLLC() bool { return t.usingLLC }
 
+// Faults returns the page faults this task has triggered — the
+// footprint feature of the adaptive classifier (each first touch
+// faults exactly one page).
+func (t *Task) Faults() uint64 { return t.faultCount }
+
+// Degraded returns the degradation-ladder allocations charged to this
+// task — the loan-rate feature of the adaptive classifier.
+func (t *Task) Degraded() uint64 { return t.degraded }
+
 // BankColors returns a copy of the owned memory colors.
 func (t *Task) BankColors() []int { return append([]int(nil), t.bankColors...) }
 
@@ -224,7 +243,7 @@ func (t *Task) Mmap(addr, length uint64, prot uint32) (uint64, error) {
 	pages := (length + phys.PageSize - 1) / phys.PageSize
 	base := t.proc.nextVA
 	t.proc.nextVA += pages * phys.PageSize
-	t.proc.regions = append(t.proc.regions, region{base, base + pages*phys.PageSize})
+	t.proc.regions = append(t.proc.regions, region{base, base + pages*phys.PageSize, t})
 	return base, nil
 }
 

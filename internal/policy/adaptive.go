@@ -1,0 +1,179 @@
+package policy
+
+import "fmt"
+
+// The online classifier of the adaptive policy engine (DESIGN.md
+// Sec. 15). TintMalloc's policies are chosen per program, once, by
+// whoever launches it; the paper itself observes that the best choice
+// depends on the phase behaviour of the workload (streaming scans
+// want bank isolation but waste their LLC share, small-footprint
+// churners want no coloring at all). The classifier closes that loop:
+// at every phase barrier each task's observable behaviour is
+// condensed into a TaskSample, Classify maps it to the policy whose
+// guarantees that behaviour can actually exploit, and Hysteresis
+// keeps one noisy sample from thrashing the color sets.
+//
+// Every policy the classifier may emit must have a row in the
+// decision logic below AND a case in the bench driver's subset
+// mapping — CONTRIBUTING.md makes that a review requirement for new
+// policies.
+
+// TaskSample is one task's behaviour since the previous decision
+// point, in classifier feature space. All rates are ratios in [0,1];
+// a zero-access sample classifies as idle and keeps the current
+// policy.
+type TaskSample struct {
+	// FootprintPages is the task's resident page count — how much of
+	// a private color's frame supply it actually uses.
+	FootprintPages uint64
+	// LoanRate is degraded (ladder) allocations per fault: how often
+	// the task's coloring could NOT be honored. A task that mostly
+	// lives on loans gets no benefit from its colors and causes
+	// divergence for everyone else.
+	LoanRate float64
+	// LLCMissRate is the fraction of memory accesses served by DRAM
+	// rather than any cache level. Streaming tasks sit near 1: an LLC
+	// partition is wasted on them.
+	LLCMissRate float64
+	// RemoteFrac is the fraction of DRAM accesses served by a remote
+	// controller — the paper's access-divergence signal. High remote
+	// traffic is what bank coloring fixes.
+	RemoteFrac float64
+	// BankCapacityPages is the frame supply of the bank colors this
+	// task would claim under a MEM policy — the hard ceiling its
+	// footprint must fit under for bank coloring to be honorable.
+	// Zero means unknown and disables the capacity rules.
+	BankCapacityPages uint64
+	// LLCCapacityPages is the cache capacity of the LLC colors this
+	// task would claim under an LLC policy, in pages. A working set
+	// beyond LLCFitFrac of it cannot be cache-resident, so an LLC
+	// partition is wasted on it. Zero means unknown.
+	LLCCapacityPages uint64
+	// Accesses is the raw access count behind the rates, to reject
+	// low-confidence samples.
+	Accesses uint64
+}
+
+// Classifier thresholds. Exported so experiments can report them;
+// the values are deliberately coarse — the classifier must be robust,
+// not optimal, and hysteresis absorbs borderline samples.
+const (
+	// MinClassifyAccesses is the fewest accesses a sample needs before
+	// the classifier will act on it at all.
+	MinClassifyAccesses = 1024
+	// SmallFootprintPages: below this residency a task cannot fill
+	// even one color's worth of frames, so private colors only
+	// fragment the machine.
+	SmallFootprintPages = 32
+	// HighLoanRate: above this, the machine cannot honor the task's
+	// colors anyway; holding them just starves other tasks.
+	HighLoanRate = 0.5
+	// StreamingMissRate: above this LLC miss rate the task is
+	// streaming; an LLC partition buys it nothing, but bank isolation
+	// still cuts its row-buffer interference.
+	StreamingMissRate = 0.7
+	// DivergentRemoteFrac: above this remote-DRAM fraction the task
+	// suffers controller divergence and wants bank (MEM) coloring.
+	DivergentRemoteFrac = 0.1
+	// LLCFitFrac: a working set must fit in this fraction of the
+	// task's LLC share to count as cache-resident — a set at 100% of
+	// its partition thrashes it instead of living in it.
+	LLCFitFrac = 0.5
+)
+
+// Classify maps one sample to the policy it should run under. The
+// second return is false when the sample is too small to act on (the
+// caller keeps the current policy).
+//
+// The decision ladder, most- to least-specific:
+//
+//	starved     (high loan rate)        -> Buddy    colors unhonorable; release them
+//	oversized   (footprint > bank cap)  -> Buddy    bank colors cannot hold the task
+//	tiny        (small footprint)       -> Buddy    colors can't pay for their fragmentation
+//	streaming   (high LLC miss rate)    -> MEMOnly  bank isolation without wasting LLC share
+//	uncacheable (footprint > LLC fit)   -> MEMOnly  partition can't hold the set; banks still help
+//	cache-bound (low miss, local)       -> LLCOnly  LLC partition; banks not the bottleneck
+//	divergent   (everything else)       -> MEMLLC   the paper's full contract
+//
+// The two capacity rules are what keep the classifier from
+// thrashing. Without `oversized`, a task that already fled its colors
+// because they starved it looks like a streamer next epoch (loan rate
+// back to zero, miss rate still high) and is re-colored straight back
+// into the starvation that evicted it. Without `uncacheable`, a
+// growing task whose footprint still happens to fit the LLC samples
+// as cache-bound for an epoch and wins LLC colors — whose allocation
+// ignores node locality — right before it outgrows them.
+func Classify(s TaskSample) (Policy, bool) {
+	if s.Accesses < MinClassifyAccesses {
+		return Buddy, false
+	}
+	if s.LoanRate > HighLoanRate {
+		return Buddy, true
+	}
+	if s.BankCapacityPages > 0 && s.FootprintPages > s.BankCapacityPages {
+		return Buddy, true
+	}
+	if s.FootprintPages < SmallFootprintPages {
+		return Buddy, true
+	}
+	if s.LLCMissRate > StreamingMissRate {
+		return MEMOnly, true
+	}
+	if s.LLCCapacityPages > 0 && float64(s.FootprintPages) > LLCFitFrac*float64(s.LLCCapacityPages) {
+		return MEMOnly, true
+	}
+	if s.RemoteFrac < DivergentRemoteFrac {
+		return LLCOnly, true
+	}
+	return MEMLLC, true
+}
+
+// Hysteresis debounces per-task policy decisions: a switch is only
+// released after Lag consecutive samples agree on the same policy
+// that differs from the current one. Zero value is not usable; use
+// NewHysteresis.
+type Hysteresis struct {
+	lag     int
+	current Policy
+	pending Policy
+	streak  int
+	// Switches counts released transitions, for experiment reports.
+	Switches int
+}
+
+// DefaultHysteresisLag is the consecutive-agreeing-samples bar for a
+// policy switch. Two is the smallest value that still rejects a
+// single outlier sample.
+const DefaultHysteresisLag = 2
+
+// NewHysteresis tracks one task currently running under `initial`.
+func NewHysteresis(initial Policy, lag int) (*Hysteresis, error) {
+	if lag < 1 {
+		return nil, fmt.Errorf("policy: hysteresis lag %d, need >= 1", lag)
+	}
+	return &Hysteresis{lag: lag, current: initial, pending: initial}, nil
+}
+
+// Current returns the policy the task should be running under now.
+func (h *Hysteresis) Current() Policy { return h.current }
+
+// Observe feeds one classifier decision and reports whether the task
+// should switch policy now (true exactly once per released
+// transition, at which point Current() is the new policy).
+func (h *Hysteresis) Observe(p Policy) bool {
+	if p == h.current {
+		h.pending, h.streak = h.current, 0
+		return false
+	}
+	if p == h.pending {
+		h.streak++
+	} else {
+		h.pending, h.streak = p, 1
+	}
+	if h.streak < h.lag {
+		return false
+	}
+	h.current, h.streak = p, 0
+	h.Switches++
+	return true
+}

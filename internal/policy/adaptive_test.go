@@ -1,0 +1,153 @@
+package policy
+
+import "testing"
+
+// sample builds a confident, "divergent" baseline sample; tests
+// perturb one feature at a time.
+func sample() TaskSample {
+	return TaskSample{
+		FootprintPages:    1024,
+		LoanRate:          0,
+		LLCMissRate:       0.3,
+		RemoteFrac:        0.4,
+		BankCapacityPages: 4096,
+		LLCCapacityPages:  4096,
+		Accesses:          1 << 20,
+	}
+}
+
+func TestClassifyLadder(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*TaskSample)
+		want   Policy
+		act    bool
+	}{
+		{"divergent baseline", func(s *TaskSample) {}, MEMLLC, true},
+		{"too few accesses", func(s *TaskSample) { s.Accesses = MinClassifyAccesses - 1 }, Buddy, false},
+		{"starved on loans", func(s *TaskSample) { s.LoanRate = HighLoanRate + 0.1 }, Buddy, true},
+		{"oversized footprint", func(s *TaskSample) { s.FootprintPages = s.BankCapacityPages + 1 }, Buddy, true},
+		{"unknown capacity is unlimited", func(s *TaskSample) {
+			s.FootprintPages = 1 << 20
+			s.BankCapacityPages = 0
+			s.LLCCapacityPages = 0
+		}, MEMLLC, true},
+		{"tiny footprint", func(s *TaskSample) { s.FootprintPages = SmallFootprintPages - 1 }, Buddy, true},
+		{"streaming", func(s *TaskSample) { s.LLCMissRate = StreamingMissRate + 0.1 }, MEMOnly, true},
+		{"cache-bound local", func(s *TaskSample) { s.RemoteFrac = 0 }, LLCOnly, true},
+		// A set beyond its LLC share's fit fraction cannot be cache
+		// resident: no LLC colors, but bank isolation still applies.
+		{"uncacheable working set", func(s *TaskSample) {
+			s.RemoteFrac = 0
+			s.LLCCapacityPages = uint64(float64(s.FootprintPages)/LLCFitFrac) - 1
+		}, MEMOnly, true},
+		// Starvation outranks streaming: colors that can't be honored
+		// are released even for a task that would otherwise want them.
+		{"starved streamer", func(s *TaskSample) {
+			s.LoanRate = HighLoanRate + 0.1
+			s.LLCMissRate = 1
+		}, Buddy, true},
+		// A streamer with no divergence still gets bank isolation:
+		// row-buffer interference doesn't need remote traffic.
+		{"local streamer", func(s *TaskSample) {
+			s.LLCMissRate = 1
+			s.RemoteFrac = 0
+		}, MEMOnly, true},
+		// Oversized outranks streaming: bank colors that cannot hold
+		// the footprint would only re-start the loan starvation the
+		// task already fled (the anti-thrash rule).
+		{"oversized streamer", func(s *TaskSample) {
+			s.FootprintPages = s.BankCapacityPages * 2
+			s.LLCMissRate = 1
+		}, Buddy, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := sample()
+			tc.mutate(&s)
+			got, act := Classify(s)
+			if act != tc.act {
+				t.Fatalf("Classify act = %v, want %v", act, tc.act)
+			}
+			if act && got != tc.want {
+				t.Fatalf("Classify = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClassifyCoversDriverPolicies pins the classifier's output
+// domain: every policy it can emit must be one the adaptive bench
+// driver knows how to apply (CONTRIBUTING.md's classifier-row rule).
+func TestClassifyCoversDriverPolicies(t *testing.T) {
+	driverKnown := map[Policy]bool{Buddy: true, MEMOnly: true, LLCOnly: true, MEMLLC: true}
+	seen := map[Policy]bool{}
+	// Sweep feature-space corners; coarse but covers every branch.
+	for _, fp := range []uint64{1, SmallFootprintPages, 4096} {
+		for _, lr := range []float64{0, 0.4, 0.9} {
+			for _, mr := range []float64{0, 0.5, 1} {
+				for _, rf := range []float64{0, 0.05, 0.5} {
+					p, ok := Classify(TaskSample{
+						FootprintPages: fp, LoanRate: lr,
+						LLCMissRate: mr, RemoteFrac: rf,
+						Accesses: 1 << 20,
+					})
+					if !ok {
+						t.Fatal("confident sample rejected")
+					}
+					if !driverKnown[p] {
+						t.Fatalf("Classify emitted %s, which the adaptive driver cannot apply", p)
+					}
+					seen[p] = true
+				}
+			}
+		}
+	}
+	for p := range driverKnown {
+		if !seen[p] {
+			t.Errorf("no corner sample reaches %s; classifier rows and tests have drifted", p)
+		}
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	h, err := NewHysteresis(MEMLLC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One outlier never switches.
+	if h.Observe(Buddy) {
+		t.Fatal("switched on a single outlier")
+	}
+	if h.Observe(MEMLLC) {
+		t.Fatal("switched back to current")
+	}
+	// The outlier streak was reset by the agreeing sample.
+	if h.Observe(Buddy) {
+		t.Fatal("streak survived an intervening agreeing sample")
+	}
+	if !h.Observe(Buddy) {
+		t.Fatal("two consecutive agreeing samples must switch")
+	}
+	if h.Current() != Buddy {
+		t.Fatalf("Current = %s, want %s", h.Current(), Buddy)
+	}
+	if h.Switches != 1 {
+		t.Fatalf("Switches = %d, want 1", h.Switches)
+	}
+	// A released switch resets the streak: no immediate re-switch.
+	if h.Observe(MEMOnly) {
+		t.Fatal("switched after one sample following a transition")
+	}
+	// Changing the pending candidate restarts the streak.
+	if h.Observe(MEMLLC) || h.Observe(MEMOnly) {
+		t.Fatal("streak crossed a candidate change")
+	}
+	if !h.Observe(MEMOnly) {
+		t.Fatal("re-agreed candidate must switch")
+	}
+
+	if _, err := NewHysteresis(Buddy, 0); err == nil {
+		t.Fatal("lag 0 accepted")
+	}
+}

@@ -13,6 +13,9 @@ type serverStats struct {
 	allocs, frees                atomic.Uint64
 	coloredAllocs, defaultAllocs atomic.Uint64
 	borrows                      [kernel.NumRungs]atomic.Uint64
+	compactPasses                atomic.Uint64
+	compactMoved                 atomic.Uint64
+	compactDeclined              atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of serving counters. Counters
@@ -32,6 +35,10 @@ type Stats struct {
 	Rejected      uint64 // ErrBusy rejections (backpressure)
 	Parked        uint64 // frames currently on color lists
 	FreeFrames    uint64 // frames currently in buddy zones
+
+	CompactPasses   uint64 // compaction passes across all shards
+	CompactMoved    uint64 // loans migrated home and settled
+	CompactDeclined uint64 // swaps refused by client relocators
 }
 
 // DegradedAllocs sums the borrow rungs.
@@ -46,10 +53,13 @@ func (st Stats) DegradedAllocs() uint64 {
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Allocs:        s.stats.allocs.Load(),
-		Frees:         s.stats.frees.Load(),
-		ColoredPages:  s.stats.coloredAllocs.Load(),
-		DefaultAllocs: s.stats.defaultAllocs.Load(),
+		Allocs:          s.stats.allocs.Load(),
+		Frees:           s.stats.frees.Load(),
+		ColoredPages:    s.stats.coloredAllocs.Load(),
+		DefaultAllocs:   s.stats.defaultAllocs.Load(),
+		CompactPasses:   s.stats.compactPasses.Load(),
+		CompactMoved:    s.stats.compactMoved.Load(),
+		CompactDeclined: s.stats.compactDeclined.Load(),
 	}
 	for i := range st.Borrows {
 		st.Borrows[i] = s.stats.borrows[i].Load()

@@ -89,6 +89,11 @@ type Config struct {
 	// drained shard fails with ErrNoMemory even while other shards
 	// have free frames (the paper-faithful fail-hard mode).
 	DisableBorrow bool
+	// CompactBudget, when positive, starts one background compaction
+	// worker per shard; each KickCompact pass attempts up to this many
+	// loan migrations per shard (see CompactShard). Zero — the default
+	// — starts no workers and leaves every allocation path untouched.
+	CompactBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +157,10 @@ type Server struct {
 	clientMu sync.Mutex
 	clients  []*Client //tintvet:guardedby clientMu
 
+	// compactKick has one buffered kick channel per shard while
+	// background compaction is enabled; nil when disabled.
+	compactKick []chan struct{}
+
 	closed atomic.Bool
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -196,6 +205,14 @@ func New(topo *topology.Topology, mapping *phys.Mapping, cfg Config) (*Server, e
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go sh.worker(s)
+	}
+	if cfg.CompactBudget > 0 {
+		s.compactKick = make([]chan struct{}, len(s.shards))
+		for i := range s.shards {
+			s.compactKick[i] = make(chan struct{}, 1)
+			s.wg.Add(1)
+			go s.compactor(i)
+		}
 	}
 	return s, nil
 }
@@ -286,6 +303,10 @@ type Client struct {
 	// concurrent same-client misses fall back to a fresh allocation).
 	req     refillReq
 	reqBusy atomic.Bool
+
+	// relocate is the client's compaction swap callback (see
+	// SetRelocator); nil while the client opts out.
+	relocate atomic.Pointer[RelocateFunc]
 }
 
 // ID returns the client identifier (unique across the server).

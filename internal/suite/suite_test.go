@@ -100,7 +100,9 @@ func TestParseErrors(t *testing.T) {
 		"[[suite]]\nscale = nan\n",
 		"[[suite]]\nconfigs = \"not-an-array\"\n",
 		"[[suite]]\n[[suite.workload]]\nbogus = 1\n",
-		"[[suite]]\nname = \"x\n", // unterminated string
+		"[[suite]]\nname = \"x\n",                 // unterminated string
+		"[[suite]]\nname = \"x\"\nname = \"y\"\n", // duplicate key in one table
+		"[[suite]]\n[[suite.workload]]\ndriver = \"lbm\"\ndriver = \"lbm\"\n",
 	}
 	for _, src := range syntax {
 		_, err := Parse([]byte(src))
@@ -141,6 +143,41 @@ func TestParseErrors(t *testing.T) {
 		if !strings.HasPrefix(err.Error(), "suite: "+c.field) {
 			t.Errorf("Parse(%q) error = %q, want prefix %q", c.src, err, "suite: "+c.field)
 		}
+	}
+}
+
+// Reassigning a key within one table is a hard positional error —
+// last-wins would silently discard the first value. The same key in
+// a different table (or a later [[suite]]) is of course fine.
+func TestDuplicateKeys(t *testing.T) {
+	_, err := Parse([]byte("[[suite]]\nname = \"x\"\nrepeats = 1\nname = \"y\"\n"))
+	if err == nil {
+		t.Fatal("duplicate suite key accepted")
+	}
+	want := `suite: line 4: duplicate key "name" in this table (first set at line 2)`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+
+	_, err = Parse([]byte("[[suite]]\nname = \"x\"\n[[suite.workload]]\ndriver = \"lbm\"\nops = 1\nops = 2\n"))
+	if err == nil {
+		t.Fatal("duplicate workload key accepted")
+	}
+	want = `suite: line 6: duplicate key "ops" in this table (first set at line 5)`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+
+	// A fresh table resets the tracking: the same key may appear once
+	// in the suite, once in each of its workloads, and again in the
+	// next suite.
+	ok := "[[suite]]\nname = \"a\"\nconfigs = [\"4_threads_1_nodes\"]\npolicies = [\"buddy\"]\n" +
+		"[[suite.workload]]\nname = \"w1\"\ndriver = \"lbm\"\n" +
+		"[[suite.workload]]\nname = \"w2\"\ndriver = \"lbm\"\n" +
+		"[[suite]]\nname = \"b\"\nconfigs = [\"4_threads_1_nodes\"]\npolicies = [\"buddy\"]\n" +
+		"[[suite.workload]]\ndriver = \"lbm\"\n"
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("repeated keys across distinct tables rejected: %v", err)
 	}
 }
 

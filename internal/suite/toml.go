@@ -18,7 +18,9 @@ import (
 //
 // Anything outside the subset — unknown keys included — is a hard
 // error: a typoed knob must fail the load, not silently run the
-// default shape. Errors before validation are positional
+// default shape. So is assigning the same key twice within one table:
+// last-wins would silently discard the first value, and real TOML
+// rejects it too. Errors before validation are positional
 // ("suite: line N: ..."); validation errors are addressed
 // ("suite: <name>: <field>: ...").
 
@@ -27,6 +29,7 @@ type tomlParser struct {
 	cur    *Suite        // open [[suite]], nil at top level
 	curWL  *WorkloadSpec // open [[suite.workload]], nil otherwise
 	lineNo int
+	seen   map[string]int // key -> line of first assignment in the open table
 }
 
 func parseTOML(data []byte) (*Registry, error) {
@@ -111,6 +114,7 @@ func (p *tomlParser) header(line string) error {
 		p.reg.Suites = append(p.reg.Suites, Suite{})
 		p.cur = &p.reg.Suites[len(p.reg.Suites)-1]
 		p.curWL = nil
+		p.seen = map[string]int{}
 		return nil
 	case "suite.workload":
 		if p.cur == nil {
@@ -118,10 +122,21 @@ func (p *tomlParser) header(line string) error {
 		}
 		p.cur.Workloads = append(p.cur.Workloads, WorkloadSpec{})
 		p.curWL = &p.cur.Workloads[len(p.cur.Workloads)-1]
+		p.seen = map[string]int{}
 		return nil
 	default:
 		return p.errf("unknown table %q (want suite or suite.workload)", name)
 	}
+}
+
+// dup enforces single assignment per key within the open table; TOML
+// forbids redefinition, and last-wins would silently drop a value.
+func (p *tomlParser) dup(key string) error {
+	if first, ok := p.seen[key]; ok {
+		return p.errf("duplicate key %q in this table (first set at line %d)", key, first)
+	}
+	p.seen[key] = p.lineNo
+	return nil
 }
 
 func (p *tomlParser) assign(key, val string) error {
@@ -130,6 +145,9 @@ func (p *tomlParser) assign(key, val string) error {
 	}
 	if p.cur == nil {
 		return p.errf("key %s outside any [[suite]]", key)
+	}
+	if err := p.dup(key); err != nil {
+		return err
 	}
 	s := p.cur
 	switch key {
@@ -153,6 +171,9 @@ func (p *tomlParser) assign(key, val string) error {
 }
 
 func (p *tomlParser) assignWorkload(key, val string) error {
+	if err := p.dup(key); err != nil {
+		return err
+	}
 	w := p.curWL
 	switch key {
 	case "name":

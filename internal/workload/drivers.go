@@ -19,6 +19,8 @@ import "fmt"
 //	             (percent of requests that only read)
 //	json       : Footprint (input document bytes/thread), Ops
 //	             (documents/thread), Depth (parse-tree depth)
+//	heteromix  : Footprint (per-streamer stream bytes), Ticks
+//	             (barrier epochs = adaptive decision points)
 //
 // The seven paper workloads take no knobs: their shapes are pinned by
 // the evaluation and byte-identical to their Registry() forms.
@@ -103,6 +105,11 @@ func FromSpec(name, driver string, s DriverSpec) (Workload, error) {
 			return Workload{}, err
 		}
 		w = JSON(JSONSpec{Input: s.Footprint, Docs: s.Ops, Depth: s.Depth})
+	case "heteromix":
+		if err := s.checkKnobs(driver, "footprint", "ticks"); err != nil {
+			return Workload{}, err
+		}
+		w = HeteroMix(HeteroSpec{StreamBytes: s.Footprint, Epochs: s.Ticks})
 	default:
 		builtin, err := ByName(driver)
 		if err != nil {

@@ -83,6 +83,7 @@ func Registry() []Workload {
 		GCLatency(GCLatencySpec{}),
 		HTTP(HTTPSpec{}),
 		JSON(JSONSpec{}),
+		HeteroMix(HeteroSpec{}),
 	}
 }
 

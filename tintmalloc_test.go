@@ -104,8 +104,9 @@ func TestBuildWorkloadAndRun(t *testing.T) {
 
 func TestWorkloadNames(t *testing.T) {
 	names := WorkloadNames()
-	// The paper's seven plus the four ported x/benchmarks shapes.
-	if len(names) != 11 {
+	// The paper's seven, the four ported x/benchmarks shapes, and the
+	// adaptive engine's heteromix showcase.
+	if len(names) != 12 {
 		t.Errorf("WorkloadNames = %v", names)
 	}
 	for i, want := range []string{"synthetic", "lbm"} {
