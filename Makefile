@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-baseline bench-gate alloc-gate serve-smoke serve-bench offload-bench microbench profile golden figures report sweep chaos-smoke adaptive-smoke fuzz lint vet-fixtures clean
+.PHONY: all build test test-short race bench bench-baseline bench-gate alloc-gate serve-smoke netserve-smoke serve-bench offload-bench microbench profile golden figures report sweep chaos-smoke adaptive-smoke fuzz lint vet-fixtures clean
 
 all: build lint test
 
@@ -74,9 +74,23 @@ alloc-gate:
 serve-smoke:
 	$(GO) test -race -run 'TestDifferentialKernelVsServe|TestHammer' ./internal/serve
 
+# Wire-path shakeout: the client<->daemon differential (byte-identical
+# scheduler results and serving counters under all three admission
+# policies, on both the data plane and the task plane), the
+# malformed-stream survival test, the session-reclaim check, and the
+# multi-process hammer — all under the race detector (see DESIGN.md
+# Sec. 16).
+netserve-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestDifferential|TestMultiProcessHammer|TestDaemonSurvivesGarbage|TestSessionCleanupReclaims' \
+		./internal/wire
+	$(GO) test -race -count=1 -run 'TestCloseIdempotent|TestConcurrentClose' ./internal/serve
+
 # Serve-scaling harness: 16 clients over 1/2/4 shards plus a client
-# sweep, written to BENCH_serve.json with the previous report folded
-# in as the baseline.
+# sweep — and the wire path (connection scaling against an in-process
+# tintserved daemon, then the daemon-scheduled task-churn matrix) —
+# written to BENCH_serve.json with the previous report folded in as
+# the baseline.
 serve-bench:
 	$(GO) run ./cmd/tintbench -exp serve -serve-ops 20000 -serve-out BENCH_serve.json
 

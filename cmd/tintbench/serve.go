@@ -81,6 +81,80 @@ func serveSweep(w io.Writer, specs []bench.ServeSpec, samples int,
 	return recs, nil
 }
 
+// netSweep times the wire-path connection sweep: the serve churn
+// driven through OS sockets against an in-process tintserved daemon.
+func netSweep(w io.Writer, specs []bench.NetServeSpec, samples int,
+	memBytes uint64, cfg serve.Config) ([]benchfmt.ServeRecord, error) {
+	var recs []benchfmt.ServeRecord
+	for _, spec := range specs {
+		rec := benchfmt.ServeRecord{
+			Scenario: spec.Name,
+			Nodes:    4,
+			Clients:  spec.Conns,
+		}
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			cell, err := bench.RunNetServeCell(spec, memBytes, cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			rec.Ops = cell.Ops
+			rec.Retries = cell.Retries
+			rec.Refills = cell.Stats.Refills
+			rec.Batches = cell.Stats.Batches
+			rec.BatchedReqs = cell.Stats.BatchedReqs
+			rec.Degraded = cell.Stats.DegradedAllocs()
+			rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
+			rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(cell.Ops)/wall)
+		}
+		rec.WallSeconds = mean(rec.WallSecondsSamples)
+		rec.OpsPerSec = mean(rec.OpsPerSecSamples)
+		recs = append(recs, rec)
+		fmt.Fprintf(w, "%-20s %6d %8d %10d %9.3f %12.0f %9d %9d %9d %10s\n",
+			rec.Scenario, rec.Nodes, rec.Clients, rec.Ops, rec.WallSeconds,
+			rec.OpsPerSec, rec.Retries, rec.Refills, rec.Degraded, "-")
+	}
+	return recs, nil
+}
+
+// churnSweep times the task-churn sweep: spec-determined task batches
+// run to exit by the daemon's dispatch scheduler, shipped over the
+// wire. Everything but the wall clock is deterministic.
+func churnSweep(w io.Writer, specs []bench.ChurnSpec, samples int,
+	memBytes uint64, cfg serve.Config) ([]benchfmt.ChurnRecord, error) {
+	var recs []benchfmt.ChurnRecord
+	for _, spec := range specs {
+		rec := benchfmt.ChurnRecord{
+			Scenario: spec.Name,
+			Policy:   spec.Policy.String(),
+			Tasks:    spec.Tasks,
+		}
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			cell, err := bench.RunChurnCell(spec, memBytes, cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			rec.Ops = cell.Result.Ops
+			rec.Ticks = cell.Result.Ticks
+			rec.Dispatches = cell.Result.Dispatches
+			rec.Preemptions = cell.Result.Preemptions
+			rec.Blocks = cell.Result.Blocks
+			rec.WallSecondsSamples = append(rec.WallSecondsSamples, wall)
+			rec.OpsPerSecSamples = append(rec.OpsPerSecSamples, float64(cell.Result.Ops)/wall)
+		}
+		rec.WallSeconds = mean(rec.WallSecondsSamples)
+		rec.OpsPerSec = mean(rec.OpsPerSecSamples)
+		recs = append(recs, rec)
+		fmt.Fprintf(w, "%-20s %6s %8d %10d %9d %11d %11d %9.3f %12.0f\n",
+			rec.Scenario, rec.Policy, rec.Tasks, rec.Ops, rec.Ticks,
+			rec.Dispatches, rec.Preemptions, rec.WallSeconds, rec.OpsPerSec)
+	}
+	return recs, nil
+}
+
 func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient, samples int,
 	cfg serve.Config, offload bool, ocfg serve.OffloadConfig) error {
 	if samples < 1 {
@@ -136,6 +210,25 @@ func runServeHarness(w io.Writer, outPath string, memBytes uint64, opsPerClient,
 				four.OpsPerSec, offFour.OpsPerSec, rep.OffloadSpeedup)
 		}
 	}
+
+	// The wire path: same churn, real sockets. Connection-count
+	// scaling first, then the daemon-scheduled task-churn matrix.
+	fmt.Fprintf(w, "\nwire path (unix socket to an in-process tintserved daemon)\n")
+	header()
+	netRecs, err := netSweep(w, bench.NetServeScalingSpecs(opsPerClient), samples, memBytes, cfg)
+	if err != nil {
+		return err
+	}
+	rep.NetRecords = netRecs
+
+	fmt.Fprintf(w, "\ntask churn (daemon dispatch scheduler, 4 simulated cores, quantum 16)\n")
+	fmt.Fprintf(w, "%-20s %6s %8s %10s %9s %11s %11s %9s %12s\n",
+		"scenario", "policy", "tasks", "ops", "ticks", "dispatches", "preemptions", "wall (s)", "ops/sec")
+	churnRecs, err := churnSweep(w, bench.ChurnScalingSpecs(opsPerClient), samples, memBytes, cfg)
+	if err != nil {
+		return err
+	}
+	rep.ChurnRecords = churnRecs
 
 	// Fold the previous report in as the baseline, as the engine
 	// harness does for BENCH_engine.json.

@@ -12,6 +12,9 @@
 //	tintserve -nodes 1 -clients 16         # same load on a single shard
 //	tintserve -ops 100000 -queue 64 -highwater 48 -batch 16
 //	tintserve -disable-borrow              # paper-faithful fail-hard mode
+//
+// Exit status is 0 on a clean audited run, 1 on a runtime failure,
+// 2 on a usage error.
 package main
 
 import (
@@ -24,36 +27,84 @@ import (
 	"github.com/tintmalloc/tintmalloc/internal/serve"
 )
 
+type options struct {
+	nodes     int
+	clients   int
+	ops       int
+	memGiB    float64
+	queue     int
+	highwater int
+	batch     int
+	stripes   int
+	noBorrow  bool
+}
+
+// validate rejects option combinations before any platform is built.
+// The serve.Config clamps would silently "repair" most of these; a
+// benchmark run with repaired parameters reports numbers for a
+// configuration the operator didn't ask for, so the front-end fails
+// loudly instead.
+func validate(o options) error {
+	if o.nodes <= 0 {
+		return fmt.Errorf("-nodes %d: must engage at least one node", o.nodes)
+	}
+	if o.clients <= 0 {
+		return fmt.Errorf("-clients %d: must run at least one client", o.clients)
+	}
+	if o.ops <= 0 {
+		return fmt.Errorf("-ops %d: must churn at least one operation", o.ops)
+	}
+	if o.memGiB <= 0 {
+		return fmt.Errorf("-mem %g: installed memory must be positive", o.memGiB)
+	}
+	if o.queue < 0 || o.highwater < 0 || o.batch < 0 || o.stripes < 0 {
+		return fmt.Errorf("-queue/-highwater/-batch/-stripes must not be negative")
+	}
+	effQueue := o.queue
+	if effQueue == 0 {
+		effQueue = serve.DefaultQueueDepth
+	}
+	if o.highwater > effQueue {
+		return fmt.Errorf("-highwater %d exceeds queue depth %d", o.highwater, effQueue)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		nodes     = flag.Int("nodes", 4, "NUMA nodes engaged (clients pin to their cores)")
-		clients   = flag.Int("clients", 16, "concurrent clients")
-		ops       = flag.Int("ops", 20000, "churn operations per client")
-		memGiB    = flag.Float64("mem", 2, "installed physical memory in GiB")
-		queue     = flag.Int("queue", 0, "refill queue depth per shard (0 = default 256)")
-		highwater = flag.Int("highwater", 0, "in-flight refill high-water mark (0 = 3/4 of queue)")
-		batch     = flag.Int("batch", 0, "max refill requests amortized per batch (0 = default 32)")
-		stripes   = flag.Int("stripes", 0, "lock stripes per shard's color lists (0 = default 16)")
-		noBorrow  = flag.Bool("disable-borrow", false, "fail with ErrNoMemory instead of walking the cross-shard ladder")
-	)
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 4, "NUMA nodes engaged (clients pin to their cores)")
+	flag.IntVar(&o.clients, "clients", 16, "concurrent clients")
+	flag.IntVar(&o.ops, "ops", 20000, "churn operations per client")
+	flag.Float64Var(&o.memGiB, "mem", 2, "installed physical memory in GiB")
+	flag.IntVar(&o.queue, "queue", 0, "refill queue depth per shard (0 = default 256)")
+	flag.IntVar(&o.highwater, "highwater", 0, "in-flight refill high-water mark (0 = 3/4 of queue)")
+	flag.IntVar(&o.batch, "batch", 0, "max refill requests amortized per batch (0 = default 32)")
+	flag.IntVar(&o.stripes, "stripes", 0, "lock stripes per shard's color lists (0 = default 16)")
+	flag.BoolVar(&o.noBorrow, "disable-borrow", false, "fail with ErrNoMemory instead of walking the cross-shard ladder")
 	flag.Parse()
 
+	if err := validate(o); err != nil {
+		fmt.Fprintln(os.Stderr, "tintserve:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	cfg := serve.Config{
-		QueueDepth:    *queue,
-		HighWater:     *highwater,
-		BatchMax:      *batch,
-		Stripes:       *stripes,
-		DisableBorrow: *noBorrow,
+		QueueDepth:    o.queue,
+		HighWater:     o.highwater,
+		BatchMax:      o.batch,
+		Stripes:       o.stripes,
+		DisableBorrow: o.noBorrow,
 	}
 	spec := bench.ServeSpec{
-		Name:    fmt.Sprintf("%d_nodes_%d_clients", *nodes, *clients),
-		Nodes:   *nodes,
-		Clients: *clients,
-		Ops:     *ops,
+		Name:    fmt.Sprintf("%d_nodes_%d_clients", o.nodes, o.clients),
+		Nodes:   o.nodes,
+		Clients: o.clients,
+		Ops:     o.ops,
 	}
 
 	start := time.Now()
-	cell, err := bench.RunServeCell(spec, uint64(*memGiB*(1<<30)), cfg)
+	cell, err := bench.RunServeCell(spec, uint64(o.memGiB*(1<<30)), cfg)
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tintserve:", err)
@@ -61,8 +112,14 @@ func main() {
 	}
 
 	st := cell.Stats
-	fmt.Printf("%s: %d ops in %.3fs (%.0f ops/sec), audit clean\n",
-		spec.Name, cell.Ops, wall, float64(cell.Ops)/wall)
+	// A sub-resolution wall clock (possible for tiny -ops runs) would
+	// print ops/sec as +Inf; elide the rate instead.
+	if wall > 0 {
+		fmt.Printf("%s: %d ops in %.3fs (%.0f ops/sec), audit clean\n",
+			spec.Name, cell.Ops, wall, float64(cell.Ops)/wall)
+	} else {
+		fmt.Printf("%s: %d ops, audit clean\n", spec.Name, cell.Ops)
+	}
 	fmt.Printf("%-24s %12d\n", "allocations", st.Allocs)
 	fmt.Printf("%-24s %12d\n", "  colored (preferred)", st.ColoredPages)
 	fmt.Printf("%-24s %12d\n", "  degraded (ladder)", st.DegradedAllocs())

@@ -142,6 +142,35 @@ type ServeReport struct {
 	// OffloadSpeedup is offloaded over inline ops/sec at the 4-node
 	// 16-client cell (<1 means offloading lost on this host).
 	OffloadSpeedup float64 `json:"offload_speedup,omitempty"`
+	// NetRecords holds the connection-count scaling sweep driven over
+	// the wire protocol against a tintserved-shaped daemon (`tintbench
+	// -exp serve` with -net). The Clients field carries the connection
+	// count. Normalized series key them as "net/<scenario>".
+	NetRecords []ServeRecord `json:"net_records,omitempty"`
+	// ChurnRecords holds the task-churn sweep: batches admitted by the
+	// daemon's dispatch scheduler under each policy. Normalized series
+	// key them as "churn/<scenario>".
+	ChurnRecords []ChurnRecord `json:"churn_records,omitempty"`
+}
+
+// ChurnRecord is one task-churn scenario: the daemon's dispatch
+// scheduler runs a spec-determined task batch to exit, so Ops, Ticks
+// and the dispatch counters are deterministic; only the wall clock
+// varies across hosts.
+type ChurnRecord struct {
+	Scenario    string  `json:"scenario"`
+	Policy      string  `json:"policy"`
+	Tasks       int     `json:"tasks"`
+	Ops         uint64  `json:"ops"`
+	Ticks       uint64  `json:"ticks"`
+	Dispatches  uint64  `json:"dispatches"`
+	Preemptions uint64  `json:"preemptions"`
+	Blocks      uint64  `json:"blocks"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// Raw per-sample measurements (format 2).
+	WallSecondsSamples []float64 `json:"wall_seconds_samples,omitempty"`
+	OpsPerSecSamples   []float64 `json:"ops_per_sec_samples,omitempty"`
 }
 
 // FindServeRecord returns the record for scenario, or nil.
@@ -285,7 +314,26 @@ func ServeSeries(rep *ServeReport) []Series {
 	for i := range rep.OffloadRecords {
 		out = append(out, serveSeries(&rep.OffloadRecords[i], "offload/"))
 	}
+	for i := range rep.NetRecords {
+		out = append(out, serveSeries(&rep.NetRecords[i], "net/"))
+	}
+	for i := range rep.ChurnRecords {
+		out = append(out, churnSeries(&rep.ChurnRecords[i]))
+	}
 	return out
+}
+
+func churnSeries(r *ChurnRecord) Series {
+	s := Series{
+		Key:  "churn/" + r.Scenario,
+		Unit: "ops/sec",
+		Ops:  r.Ops,
+	}
+	s.Samples = append([]float64(nil), r.OpsPerSecSamples...)
+	if len(s.Samples) == 0 {
+		s.Samples = []float64{r.OpsPerSec}
+	}
+	return s
 }
 
 func serveSeries(r *ServeRecord, prefix string) Series {

@@ -100,6 +100,55 @@ func TestDecodeV1Serve(t *testing.T) {
 	}
 }
 
+// A format-2 serve report carrying every record family: inline,
+// offloaded, wire (net) and task-churn. Each must land under its own
+// series-key prefix so tintstat never cross-compares them.
+const v2ServeFull = `{
+  "format": 2,
+  "host_cpus": 2,
+  "ops_per_client": 2000,
+  "samples": 2,
+  "records": [
+    {"scenario": "4_nodes_16_clients", "nodes": 4, "clients": 16, "ops": 32000,
+     "wall_seconds": 0.8, "ops_per_sec": 40000,
+     "ops_per_sec_samples": [41000, 39000]}
+  ],
+  "offload_records": [
+    {"scenario": "4_nodes_16_clients", "nodes": 4, "clients": 16, "ops": 32000,
+     "wall_seconds": 1.0, "ops_per_sec": 32000}
+  ],
+  "net_records": [
+    {"scenario": "8_conns", "nodes": 4, "clients": 8, "ops": 16000,
+     "wall_seconds": 2.0, "ops_per_sec": 8000,
+     "ops_per_sec_samples": [8100, 7900]}
+  ],
+  "churn_records": [
+    {"scenario": "rr_8_tasks", "policy": "rr", "tasks": 8, "ops": 9000,
+     "ticks": 600, "dispatches": 70, "preemptions": 40, "blocks": 12,
+     "wall_seconds": 0.5, "ops_per_sec": 18000,
+     "ops_per_sec_samples": [18500, 17500]}
+  ]
+}`
+
+func TestDecodeServeNetAndChurn(t *testing.T) {
+	kind, series, err := Decode([]byte(v2ServeFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindServe {
+		t.Fatalf("kind = %q, want serve", kind)
+	}
+	want := []Series{
+		{Key: "4_nodes_16_clients", Unit: "ops/sec", Samples: []float64{41000, 39000}, Ops: 32000},
+		{Key: "offload/4_nodes_16_clients", Unit: "ops/sec", Samples: []float64{32000}, Ops: 32000},
+		{Key: "net/8_conns", Unit: "ops/sec", Samples: []float64{8100, 7900}, Ops: 16000},
+		{Key: "churn/rr_8_tasks", Unit: "ops/sec", Samples: []float64{18500, 17500}, Ops: 9000},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("series = %+v, want %+v", series, want)
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	for name, data := range map[string]string{
 		"not json":       `nope`,

@@ -25,11 +25,12 @@ import (
 // and the serialization of one core per node. `tintbench -exp offload`
 // records both sides under identical workloads in BENCH_serve.json.
 type Offload struct {
-	srv    *Server
-	cfg    OffloadConfig
-	cores  []*allocCore
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	srv       *Server
+	cfg       OffloadConfig
+	cores     []*allocCore
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // OffloadConfig tunes the offload front-end. The zero value selects
@@ -111,10 +112,12 @@ func (o *Offload) Server() *Server { return o.srv }
 // server. Callers must quiesce their clients first: an operation still
 // in flight at Close time may be abandoned with ErrClosed while the
 // core completes it, leaking the client's frame until server teardown.
+// Close is idempotent and safe for concurrent use; every caller
+// returns only after the cores have exited.
 func (o *Offload) Close() {
-	if o.closed.Swap(true) {
-		return
-	}
+	o.closeOnce.Do(func() {
+		o.closed.Store(true)
+	})
 	o.wg.Wait()
 }
 

@@ -71,6 +71,12 @@ var (
 	ErrNotOwner = errors.New("serve: freeing a frame the client does not own")
 )
 
+// DefaultQueueDepth is the per-shard refill queue depth a zero
+// Config.QueueDepth selects. Exported so command-line front-ends can
+// validate high-water marks against the depth that will actually be
+// used.
+const DefaultQueueDepth = 256
+
 // Config tunes the serving layer. The zero value selects defaults.
 type Config struct {
 	// QueueDepth bounds each shard's refill request queue (default 256).
@@ -98,7 +104,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
-		c.QueueDepth = 256
+		c.QueueDepth = DefaultQueueDepth
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 32
@@ -161,10 +167,11 @@ type Server struct {
 	// background compaction is enabled; nil when disabled.
 	compactKick []chan struct{}
 
-	closed atomic.Bool
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	stats  serverStats
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	stats     serverStats
 }
 
 // New boots a server over the machine: one shard per NUMA node, each
@@ -219,12 +226,16 @@ func New(topo *topology.Topology, mapping *phys.Mapping, cfg Config) (*Server, e
 
 // Close stops the refill workers. In-flight refill requests fail with
 // ErrClosed; outstanding frames stay recorded so a post-close audit
-// still balances.
+// still balances. Close is idempotent and safe to call concurrently
+// with itself and with in-flight NewClient/Alloc calls: every caller
+// returns only after the workers have exited (sync.Once serializes
+// the stop-channel close, so a racing second Close can neither panic
+// on a double close nor return while workers still run).
 func (s *Server) Close() {
-	if s.closed.Swap(true) {
-		return
-	}
-	close(s.stop)
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+	})
 	s.wg.Wait()
 }
 
@@ -423,6 +434,26 @@ func (c *Client) Free(f phys.Frame) error {
 	err := sh.zone.Free(f-sh.base, 0)
 	sh.zoneMu.Unlock()
 	return err
+}
+
+// Realloc exchanges one held frame for a fresh allocation under the
+// same color claim. The new frame is allocated first, so an Alloc
+// failure (ErrBusy, ErrNoMemory) leaves the old frame owned and the
+// caller's bookkeeping untouched; only then is old freed. If that
+// free fails (ErrNotOwner — the caller never held old) the fresh
+// frame is released again before the error is returned.
+func (c *Client) Realloc(old phys.Frame) (phys.Frame, error) {
+	f, err := c.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Free(old); err != nil {
+		if ferr := c.Free(f); ferr != nil {
+			return 0, fmt.Errorf("serve: realloc unwind: %v (after %w)", ferr, err)
+		}
+		return 0, err
+	}
+	return f, nil
 }
 
 // allocColored serves a colored client: striped-list fast path on the

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/sched"
+)
+
+// NetBackend is a sched.Backend that admits every task as its own
+// wire session against a daemon: Open dials, says Hello with the
+// task's dispatch-time color claim, and Close says Goodbye. Running
+// sched.Run over a NetBackend therefore drives the daemon's data
+// plane through the exact operation sequence the in-process
+// sched.NewServeBackend drives directly — the two sides of the
+// client↔daemon differential test.
+type NetBackend struct {
+	Network string // "unix" or "tcp"
+	Addr    string
+	Assign  sched.AssignFunc
+}
+
+func (b *NetBackend) Open(task, core int) (sched.Allocator, error) {
+	cid, bank, llc := b.Assign(task, core)
+	c, err := Dial(b.Network, b.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Hello(cid, bank, llc); err != nil {
+		_ = c.Close() //tintvet:ignore errdrop: the hello error is the one worth reporting
+		return nil, err
+	}
+	return netAlloc{c}, nil
+}
+
+// netAlloc adapts a wire.Client to the sched.Allocator surface; Close
+// is the Goodbye handshake, so a drained task's exit leaves nothing
+// behind on the daemon.
+type netAlloc struct{ c *Client }
+
+func (a netAlloc) Alloc() (phys.Frame, error)                 { return a.c.Alloc() }
+func (a netAlloc) Realloc(old phys.Frame) (phys.Frame, error) { return a.c.Realloc(old) }
+func (a netAlloc) Free(f phys.Frame) error                    { return a.c.Free(f) }
+func (a netAlloc) Close() error                               { return a.c.Goodbye() }

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzWireFrame throws arbitrary bytes at the frame decoder and the
+// per-message parsers: any input must either decode or fail with
+// io.EOF / ErrProtocol — never panic, never allocate absurdly, never
+// loop forever.
+func FuzzWireFrame(f *testing.F) {
+	// Valid frames of each shape.
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, MsgHello, appendHello(nil, Hello{Version: 1, Core: 3, Bank: []int{1}, LLC: []int{2}}))
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	_ = WriteFrame(&seed, MsgAllocReply, appendFrameID(nil, 7))
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	// Truncated: a length promising more than the body delivers.
+	f.Add([]byte{0, 0, 0, 50, byte(MsgAlloc), 1, 2, 3})
+	// Oversized: length beyond MaxFrameLen.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgAlloc)})
+	// Garbage.
+	f.Add([]byte{0, 0, 0, 3, 0xee, 0xbe, 0xef})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			typ, payload, err := ReadFrame(r, buf)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrProtocol) {
+					t.Fatalf("ReadFrame: %v is neither io.EOF nor ErrProtocol", err)
+				}
+				return
+			}
+			if cap(payload) > cap(buf) {
+				buf = payload[:cap(payload)]
+			}
+			// Every parser must tolerate every payload.
+			switch typ {
+			case MsgError:
+				_ = parseError(payload)
+			case MsgHello:
+				_, _ = parseHello(payload)
+			case MsgHelloAck, MsgTaskSpawnReply, MsgTaskStat:
+				_, _ = parseU32(payload, typ.String())
+			case MsgAllocReply, MsgFree, MsgRealloc, MsgReallocReply:
+				_, _ = parseFrameID(payload, typ.String())
+			case MsgStatsReply:
+				_, _, _ = parseStats(payload)
+			case MsgTaskSpawn:
+				_, _ = parseSpec(payload)
+			case MsgTaskRun:
+				_, _ = parseConfig(payload)
+			case MsgTaskRunReply:
+				_, _ = parseResult(payload)
+			case MsgTaskStatReply:
+				_, _ = parseTaskResult(payload)
+			}
+		}
+	})
+}
+
+// TestDaemonSurvivesGarbage feeds malformed streams to a live daemon:
+// each bad connection must die with a protocol error (or a plain
+// close), and the daemon must keep serving well-formed sessions.
+func TestDaemonSurvivesGarbage(t *testing.T) {
+	d, addr := newTestDaemon(t)
+	garbage := [][]byte{
+		{0, 0, 0, 0},                           // empty frame
+		{0xff, 0xff, 0xff, 0xff, 0xee},         // oversized length
+		{0, 0, 0, 1, 0xee},                     // unknown type
+		{0, 0, 0, 40, byte(MsgAlloc), 1, 2, 3}, // truncated body
+		{0, 0, 0, 9, byte(MsgFree), 1},         // free before hello, short payload
+		bytes.Repeat([]byte{0xa5}, 256),        // pure noise
+		{0, 0, 0, 2, byte(MsgHello), 0x01},     // hello payload truncated
+	}
+	for i, g := range garbage {
+		conn, err := net.Dial("unix", addr)
+		if err != nil {
+			t.Fatalf("garbage %d: dial: %v", i, err)
+		}
+		if _, err := conn.Write(g); err != nil {
+			t.Fatalf("garbage %d: write: %v", i, err)
+		}
+		// Half-close so the daemon sees EOF after the garbage; it
+		// replies with an error frame and/or drops the connection —
+		// either way the read must terminate (deadline = hang guard).
+		if err := conn.(*net.UnixConn).CloseWrite(); err != nil {
+			t.Fatalf("garbage %d: close write: %v", i, err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		_, _ = io.Copy(io.Discard, conn)
+		if err := conn.Close(); err != nil {
+			t.Fatalf("garbage %d: close: %v", i, err)
+		}
+	}
+	// The daemon must still serve a clean session.
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Goodbye(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("post-garbage audit: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tintmalloc/tintmalloc/internal/phys"
+	"github.com/tintmalloc/tintmalloc/internal/sched"
+	"github.com/tintmalloc/tintmalloc/internal/serve"
+	"github.com/tintmalloc/tintmalloc/internal/topology"
+)
+
+// The multi-process hammer re-executes this test binary as real OS
+// child processes (the deployment shape tintserved exists for), each
+// churning its own wire session against one daemon. TestMain routes
+// the child executions.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("TINT_WIRE_CHILD") == "1" {
+		os.Exit(wireChildMain())
+	}
+	os.Exit(m.Run())
+}
+
+// wireChildMain is one client process: dial, hello with the colors
+// the parent assigned, churn, drain, goodbye.
+func wireChildMain() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "wire child: %v\n", err)
+		return 1
+	}
+	addr := os.Getenv("TINT_WIRE_ADDR")
+	seed, err := strconv.ParseInt(os.Getenv("TINT_WIRE_SEED"), 10, 64)
+	if err != nil {
+		return fail(fmt.Errorf("bad seed: %w", err))
+	}
+	ops, err := strconv.Atoi(os.Getenv("TINT_WIRE_OPS"))
+	if err != nil {
+		return fail(fmt.Errorf("bad ops: %w", err))
+	}
+	core, err := strconv.Atoi(os.Getenv("TINT_WIRE_CORE"))
+	if err != nil {
+		return fail(fmt.Errorf("bad core: %w", err))
+	}
+	bank, err := parseColorEnv("TINT_WIRE_BANK")
+	if err != nil {
+		return fail(err)
+	}
+	llc, err := parseColorEnv("TINT_WIRE_LLC")
+	if err != nil {
+		return fail(err)
+	}
+	c, err := Dial("unix", addr)
+	if err != nil {
+		return fail(err)
+	}
+	if err := c.Hello(topology.CoreID(core), bank, llc); err != nil {
+		return fail(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var owned []phys.Frame
+	for op := 0; op < ops; {
+		if len(owned) > 0 && rng.Intn(10) < 4 {
+			j := rng.Intn(len(owned))
+			if err := c.Free(owned[j]); err != nil {
+				return fail(err)
+			}
+			owned[j] = owned[len(owned)-1]
+			owned = owned[:len(owned)-1]
+			op++
+			continue
+		}
+		f, allocErr := c.Alloc()
+		switch {
+		case errors.Is(allocErr, serve.ErrBusy):
+			continue // retry without consuming the budget
+		case errors.Is(allocErr, serve.ErrNoMemory):
+			if len(owned) == 0 {
+				return fail(allocErr)
+			}
+			if err := c.Free(owned[len(owned)-1]); err != nil {
+				return fail(err)
+			}
+			owned = owned[:len(owned)-1]
+			op++
+			continue
+		case allocErr != nil:
+			return fail(allocErr)
+		}
+		owned = append(owned, f)
+		op++
+	}
+	for _, f := range owned {
+		if err := c.Free(f); err != nil {
+			return fail(err)
+		}
+	}
+	if err := c.Goodbye(); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+func parseColorEnv(key string) ([]int, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s: %w", key, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func colorEnv(colors []int) string {
+	parts := make([]string, len(colors))
+	for i, c := range colors {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestMultiProcessHammer is the cross-process gate: 6 OS processes
+// (plus one in-process control client) hammer one daemon through the
+// unix socket, then the daemon must audit clean with every frame
+// settled and no session leaving anything to reclaim.
+func TestMultiProcessHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("no executable path: %v", err)
+	}
+	topo, m := testPlatform(t)
+	d, err := NewDaemon(topo, m, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := filepath.Join(t.TempDir(), "hammer.sock")
+	l, err := net.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(l) }()
+
+	assign, err := sched.PlanAssign(m, topo, UncoloredEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const children = 6
+	const ops = 3000
+	cmds := make([]*exec.Cmd, children)
+	for i := range cmds {
+		core, bank, llc := assign(i, i)
+		cmd := exec.Command(exe, "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"TINT_WIRE_CHILD=1",
+			"TINT_WIRE_ADDR="+addr,
+			fmt.Sprintf("TINT_WIRE_SEED=%d", i+1),
+			fmt.Sprintf("TINT_WIRE_OPS=%d", ops),
+			fmt.Sprintf("TINT_WIRE_CORE=%d", core),
+			"TINT_WIRE_BANK="+colorEnv(bank),
+			"TINT_WIRE_LLC="+colorEnv(llc),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("child %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+	// An in-process control client churns concurrently with the
+	// children, then reads stats over the same protocol.
+	ctl, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Hello(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		f, err := ctl.Alloc()
+		if errors.Is(err, serve.ErrBusy) {
+			continue
+		}
+		if errors.Is(err, serve.ErrNoMemory) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Free(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("child %d: %v", i, err)
+		}
+	}
+	st, ds, err := ctl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Goodbye(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("post-hammer audit: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve loop: %v", err)
+	}
+	if ds.Sessions != children+1 {
+		t.Errorf("sessions %d, want %d", ds.Sessions, children+1)
+	}
+	if ds.Reclaimed != 0 || ds.ReclaimFailed != 0 {
+		t.Errorf("clean goodbyes left reclaim work: %+v", ds)
+	}
+	if st.Allocs == 0 || st.Allocs < uint64(children)*ops/2 {
+		t.Errorf("suspiciously few allocations: %+v", st)
+	}
+	final := d.Server().Stats()
+	if final.Allocs != final.Frees {
+		t.Errorf("unbalanced allocs/frees after drain: %+v", final)
+	}
+	if final.Loans != 0 {
+		t.Errorf("loans outstanding after drain: %+v", final)
+	}
+}
